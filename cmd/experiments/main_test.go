@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestOrderCoversRegistry keeps the "all" sequence and the registry in
+// sync: every registered experiment appears exactly once in the order.
+func TestOrderCoversRegistry(t *testing.T) {
+	seen := map[string]int{}
+	for _, name := range order {
+		seen[name]++
+		if _, ok := registry[name]; !ok {
+			t.Errorf("order entry %q not in registry", name)
+		}
+	}
+	for name := range registry {
+		if seen[name] != 1 {
+			t.Errorf("registry entry %q appears %d times in order", name, seen[name])
+		}
+	}
+}
+
+// TestRunnersProduceOutput exercises the cheap runners end to end via
+// the same entry points main uses.
+func TestRunnersProduceOutput(t *testing.T) {
+	cfg := experiments.Config{Ops: 800}
+	for _, name := range []string{"fig9", "fig5", "table1"} {
+		var buf bytes.Buffer
+		if err := registry[name](cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command tracegen synthesizes block traces for the Table I workload
+// families by executing the application model against the simulated
+// OLD (HDD) or NEW (all-flash-array) system.
+//
+// Usage:
+//
+//	tracegen -workload ikki -ops 100000 -out ikki.csv
+//	tracegen -workload MSNFS -device new -format bin -out msnfs.bin
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload family (see -list)")
+	ops := flag.Int("ops", 50000, "number of I/O instructions")
+	seed := flag.Int64("seed", 1, "generation seed")
+	idx := flag.Int("index", 0, "trace index within the family (derives the seed with -seed as offset)")
+	dev := flag.String("device", "old", `collection device: "old" (HDD) or "new" (all-flash array)`)
+	format := flag.String("format", "csv", `output format: "csv" or "bin"`)
+	out := flag.String("out", "", "output path (default stdout)")
+	list := flag.Bool("list", false, "list workload families and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-5s %8s %8s %8s\n", "workload", "set", "#traces", "avgKB", "totalGB")
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-14s %-5s %8d %8.2f %8.1f\n", p.Name, p.Set, p.NumTraces, p.AvgKB, p.TotalGB)
+		}
+		fmt.Printf("%-14s %-5s %8s %8.2f %8.1f (extra, Figs 1/3)\n", "Exchange", "MSPS", "-", 12.5, 600.0)
+		return
+	}
+	p, ok := workload.Lookup(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	var d device.Device
+	switch *dev {
+	case "old":
+		d = device.NewHDD(device.DefaultHDDConfig())
+	case "new":
+		d = device.NewArray(device.DefaultArrayConfig())
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown device %q\n", *dev)
+		os.Exit(2)
+	}
+
+	app := workload.Generate(p, workload.GenOptions{
+		Ops:  *ops,
+		Seed: workload.TraceSeed(p.Name, *idx) ^ *seed,
+	})
+	res := app.Execute(d)
+	tr := res.Trace
+	tr.Name = fmt.Sprintf("%s-%02d", p.Name, *idx)
+	tr.Workload = p.Name
+	tr.Set = p.Set
+	tr.TsdevKnown = p.TsdevKnown
+	if !p.TsdevKnown {
+		for i := range tr.Requests {
+			tr.Requests[i].Latency = 0
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	case "bin":
+		err = trace.WriteBinary(w, tr)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (%s, %s) spanning %v\n",
+		tr.Len(), p.Name, d.Name(), tr.Duration())
+}

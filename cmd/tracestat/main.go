@@ -1,0 +1,145 @@
+// Command tracestat characterizes a block trace: request mix,
+// inter-arrival distribution, per-group CDF shapes, and the fitted
+// inference model — the paper's software-evaluation stage as a
+// standalone analysis tool.
+//
+// Usage:
+//
+//	tracestat -in trace.csv
+//	tracegen -workload ikki | tracestat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace path (default stdin)")
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	groups := flag.Bool("groups", true, "print per-group classification")
+	flag.Parse()
+
+	tr, err := readTrace(*in, *informat)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(fmt.Errorf("input: %w", err))
+	}
+
+	t := &report.Table{Title: "trace summary", Headers: []string{"metric", "value"}}
+	t.AddRow("name", tr.Name)
+	t.AddRow("workload", tr.Workload)
+	t.AddRow("set", tr.Set)
+	t.AddRow("requests", tr.Len())
+	t.AddRow("duration", tr.Duration())
+	t.AddRow("total MB", fmt.Sprintf("%.1f", float64(tr.TotalBytes())/1e6))
+	t.AddRow("avg request KB", fmt.Sprintf("%.2f", tr.AvgRequestBytes()/1024))
+	t.AddRow("read fraction", report.Percent(tr.ReadFraction()))
+	t.AddRow("sequential fraction", report.Percent(tr.SeqFraction()))
+	t.AddRow("tsdev known", tr.TsdevKnown)
+	t.Render(os.Stdout)
+
+	ia := tr.InterArrivalMicros()
+	if s, err := stats.Summarize(ia); err == nil {
+		it := &report.Table{Title: "inter-arrival times", Headers: []string{"metric", "value"}}
+		it.AddRow("mean", usDur(s.Mean))
+		it.AddRow("median", usDur(s.Median))
+		it.AddRow("p90", usDur(s.P90))
+		it.AddRow("p99", usDur(s.P99))
+		it.AddRow("max", usDur(s.Max))
+		it.Render(os.Stdout)
+	}
+
+	if *groups {
+		g := infer.Classify(tr)
+		gt := &report.Table{
+			Title:   "instruction groups (seq/op/size)",
+			Headers: []string{"seq", "op", "sectors", "n", "shape", "rise"},
+		}
+		for _, seq := range []bool{true, false} {
+			for _, op := range []trace.Op{trace.Read, trace.Write} {
+				for _, grp := range g.Select(seq, op, 1) {
+					shape := infer.ClassifyShape(grp.InttMicros)
+					res, ok := infer.ExamineSteepness(grp.InttMicros, infer.DefaultSteepnessOptions())
+					rise := "-"
+					if ok {
+						rise = report.FormatDuration(usDurD(res.RiseMicros))
+					}
+					gt.AddRow(seq, op, grp.Key.Sectors, grp.N(), shape.String(), rise)
+				}
+			}
+		}
+		gt.Render(os.Stdout)
+	}
+
+	if m, err := infer.Estimate(tr, infer.EstimateOptions{}); err == nil {
+		mt := &report.Table{Title: "fitted inference model", Headers: []string{"parameter", "value"}}
+		mt.AddRow("beta (us/sector)", m.BetaMicros)
+		mt.AddRow("eta (us/sector)", m.EtaMicros)
+		mt.AddRow("Tcdel read", usDurD(m.TcdelReadMicros))
+		mt.AddRow("Tcdel write", usDurD(m.TcdelWriteMicros))
+		mt.AddRow("Tmovd", usDurD(m.TmovdMicros))
+		idle, async := infer.Decompose(m, tr)
+		var idleTotal time.Duration
+		idleCount, asyncCount := 0, 0
+		for _, d := range idle {
+			if d > 0 {
+				idleCount++
+				idleTotal += d
+			}
+		}
+		for _, a := range async {
+			if a {
+				asyncCount++
+			}
+		}
+		mt.AddRow("idle instructions", idleCount)
+		mt.AddRow("total idle", idleTotal)
+		mt.AddRow("async instructions", asyncCount)
+		mt.Render(os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "tracestat: model fit skipped: %v\n", err)
+	}
+}
+
+func usDur(v float64) time.Duration  { return time.Duration(v * float64(time.Microsecond)) }
+func usDurD(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+
+func readTrace(path, format string) (*trace.Trace, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "csv":
+		return trace.ReadCSV(r)
+	case "bin":
+		return trace.ReadBinary(r)
+	case "msrc":
+		return trace.ReadMSRC(r)
+	case "spc":
+		return trace.ReadSPC(r)
+	default:
+		return nil, fmt.Errorf("unknown input format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+	os.Exit(1)
+}

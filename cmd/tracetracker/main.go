@@ -1,0 +1,150 @@
+// Command tracetracker reconstructs an old block trace for a modern
+// storage target: the full co-evaluation pipeline (inference →
+// hardware emulation → post-processing), or any of the four baseline
+// methods for comparison.
+//
+// Usage:
+//
+//	tracetracker -in old.csv -out new.csv
+//	tracetracker -in old.csv -method revision -out rev.csv
+//	tracetracker -in old.bin -informat bin -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace path (default stdin)")
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	out := flag.String("out", "", "output trace path (default stdout)")
+	outformat := flag.String("outformat", "csv", `output format: "csv", "bin", "blktrace", or "fio"`)
+	fioDevice := flag.String("fio-device", "/dev/nvme0n1", "target device path for fio output")
+	method := flag.String("method", "tracetracker",
+		`reconstruction method: "tracetracker", "dynamic", "fixed-th", "revision", "acceleration"`)
+	factor := flag.Float64("factor", baseline.DefaultAccelerationFactor, "acceleration factor")
+	threshold := flag.Duration("threshold", baseline.DefaultFixedThreshold, "fixed-th idle threshold")
+	showReport := flag.Bool("report", false, "print the reconstruction report to stderr")
+	flag.Parse()
+
+	old, err := readTrace(*in, *informat)
+	if err != nil {
+		fatal(err)
+	}
+	if err := old.Validate(); err != nil {
+		fatal(fmt.Errorf("input: %w", err))
+	}
+
+	target := device.NewArray(device.DefaultArrayConfig())
+	var (
+		result *trace.Trace
+		rep    *core.Report
+	)
+	switch *method {
+	case "tracetracker":
+		result, rep, err = core.Reconstruct(old, target, core.Options{})
+	case "dynamic":
+		result, rep, err = core.Reconstruct(old, target, core.Options{SkipPostProcess: true})
+	case "fixed-th":
+		result = baseline.FixedTh(old, target, *threshold)
+	case "revision":
+		result = baseline.Revision(old, target)
+	case "acceleration":
+		result = baseline.Acceleration(old, *factor)
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showReport && rep != nil {
+		t := &report.Table{Title: "reconstruction report", Headers: []string{"metric", "value"}}
+		t.AddRow("requests", old.Len())
+		t.AddRow("idle instructions", rep.IdleCount)
+		t.AddRow("total idle", rep.IdleTotal)
+		t.AddRow("async instructions", rep.AsyncCount)
+		if rep.Model != nil {
+			t.AddRow("beta (us/sector)", rep.Model.BetaMicros)
+			t.AddRow("eta (us/sector)", rep.Model.EtaMicros)
+			t.AddRow("Tcdel read", time.Duration(rep.Model.TcdelReadMicros*float64(time.Microsecond)))
+			t.AddRow("Tcdel write", time.Duration(rep.Model.TcdelWriteMicros*float64(time.Microsecond)))
+			t.AddRow("Tmovd", time.Duration(rep.Model.TmovdMicros*float64(time.Microsecond)))
+		}
+		t.AddRow("old duration", old.Duration())
+		t.AddRow("new duration", result.Duration())
+		t.Render(os.Stderr)
+	}
+
+	if err := writeTrace(*out, *outformat, *fioDevice, result); err != nil {
+		fatal(err)
+	}
+}
+
+func readTrace(path, format string) (*trace.Trace, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "csv":
+		return trace.ReadCSV(r)
+	case "bin":
+		return trace.ReadBinary(r)
+	case "msrc":
+		return trace.ReadMSRC(r)
+	case "spc":
+		return trace.ReadSPC(r)
+	default:
+		return nil, fmt.Errorf("unknown input format %q", format)
+	}
+}
+
+func writeTrace(path, format, fioDevice string, t *trace.Trace) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return trace.WriteCSV(w, t)
+	case "bin":
+		return trace.WriteBinary(w, t)
+	case "blktrace":
+		return trace.WriteBlktrace(w, t)
+	case "fio":
+		// Emit the iolog; the matching job file goes to stderr as a
+		// convenience so a single pipeline produces both.
+		if err := trace.WriteFIOLog(w, t, fioDevice); err != nil {
+			return err
+		}
+		return trace.WriteFIOJob(os.Stderr, t, path, fioDevice)
+	default:
+		return fmt.Errorf("unknown output format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracetracker: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func sample() *trace.Trace {
+	return &trace.Trace{
+		Name: "cli", Workload: "w", Set: "FIU",
+		Requests: []trace.Request{
+			{Arrival: 0, LBA: 100, Sectors: 8, Op: trace.Read, Latency: 100 * time.Microsecond},
+			{Arrival: time.Millisecond, LBA: 200, Sectors: 16, Op: trace.Write, Latency: 300 * time.Microsecond},
+		},
+	}
+}
+
+func TestReadWriteTraceFormats(t *testing.T) {
+	dir := t.TempDir()
+	orig := sample()
+	for _, format := range []string{"csv", "bin"} {
+		path := filepath.Join(dir, "t."+format)
+		if err := writeTrace(path, format, "", orig); err != nil {
+			t.Fatalf("%s: write: %v", format, err)
+		}
+		got, err := readTrace(path, format)
+		if err != nil {
+			t.Fatalf("%s: read: %v", format, err)
+		}
+		if !reflect.DeepEqual(got.Requests, orig.Requests) {
+			t.Fatalf("%s: round trip lost data", format)
+		}
+	}
+}
+
+func TestWriteTraceBlktrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.blk")
+	if err := writeTrace(path, "blktrace", "", sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty blktrace output")
+	}
+}
+
+func TestWriteTraceFIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fio")
+	// The job file goes to stderr; silence it for the test.
+	old := os.Stderr
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stderr = null
+	err := writeTrace(path, "fio", "/dev/test", sample())
+	os.Stderr = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty fio output")
+	}
+}
+
+func TestUnknownFormats(t *testing.T) {
+	if _, err := readTrace("", "nope"); err == nil {
+		t.Fatal("unknown input format accepted")
+	}
+	if err := writeTrace(filepath.Join(t.TempDir(), "x"), "nope", "", sample()); err == nil {
+		t.Fatal("unknown output format accepted")
+	}
+}
+
+func TestReadTraceMissingFile(t *testing.T) {
+	if _, err := readTrace("/nonexistent/path.csv", "csv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

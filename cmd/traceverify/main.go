@@ -1,0 +1,120 @@
+// Command traceverify runs the paper's Section V-A verification
+// methodology against a trace: inject idle periods of known length at
+// random instructions, run the inference model, and report the
+// TP/FP/FN/TN statistics with Detection and Len metrics.
+//
+// Usage:
+//
+//	traceverify -in old.csv
+//	traceverify -in old.csv -period 1ms -frac 0.1
+//	traceverify -workload ikki -ops 20000     (self-generating)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace path (omit to self-generate)")
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	wl := flag.String("workload", "ikki", "workload family for self-generation")
+	ops := flag.Int("ops", 20000, "instructions for self-generation")
+	period := flag.Duration("period", 0, "single injected idle period (0 = paper's 100us..100ms sweep)")
+	frac := flag.Float64("frac", 0.10, "fraction of instructions receiving an injection")
+	seed := flag.Int64("seed", 42, "injection placement seed")
+	flag.Parse()
+
+	tr, err := loadOrGenerate(*in, *informat, *wl, *ops)
+	if err != nil {
+		fatal(err)
+	}
+
+	periods := []time.Duration{
+		100 * time.Microsecond, time.Millisecond,
+		10 * time.Millisecond, 100 * time.Millisecond,
+	}
+	if *period > 0 {
+		periods = []time.Duration{*period}
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("verification: %s (%d requests, tsdev known: %v)", tr.Name, tr.Len(), tr.TsdevKnown),
+		Headers: []string{"period", "TP", "FP", "FN", "TN", "Detect(TP)", "Detect(FP)", "Len(TP) secured", "Len(FP) mean"},
+	}
+	for i, p := range periods {
+		spec := verify.InjectionSpec{Period: p, Frac: *frac, Seed: *seed + int64(i)}
+		injected, truth := verify.Inject(tr, spec)
+		var est []time.Duration
+		if injected.TsdevKnown {
+			est, _ = infer.Decompose(nil, injected)
+		} else {
+			m, err := infer.Estimate(injected, infer.EstimateOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			est, _ = infer.Decompose(m, injected)
+		}
+		met := verify.Evaluate(truth, est)
+		t.AddRow(report.FormatDuration(p), met.TP, met.FP, met.FN, met.TN,
+			report.Percent(met.DetectionTP()), report.Percent(met.DetectionFP()),
+			report.Percent(met.LenTPSecured()), met.LenFPMean())
+	}
+	t.Render(os.Stdout)
+}
+
+func loadOrGenerate(path, format, wl string, ops int) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var r io.Reader = f
+		switch format {
+		case "csv":
+			return trace.ReadCSV(r)
+		case "bin":
+			return trace.ReadBinary(r)
+		case "msrc":
+			return trace.ReadMSRC(r)
+		case "spc":
+			return trace.ReadSPC(r)
+		default:
+			return nil, fmt.Errorf("unknown input format %q", format)
+		}
+	}
+	p, ok := workload.Lookup(wl)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+	// Verification bases carry no natural idles so every estimated
+	// idle at a non-injected instruction is a true false positive.
+	p.IdleFreq = 0
+	app := workload.Generate(p, workload.GenOptions{Ops: ops, Seed: 7})
+	res := app.Execute(device.NewHDD(device.DefaultHDDConfig()))
+	tr := res.Trace
+	tr.Name = p.Name + "-verify"
+	tr.TsdevKnown = p.TsdevKnown
+	if !p.TsdevKnown {
+		for i := range tr.Requests {
+			tr.Requests[i].Latency = 0
+		}
+	}
+	return tr, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceverify: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Verification walkthrough: how much of a trace's hidden idle
+// structure can the inference model recover when nothing but
+// inter-arrival times is available? This example reproduces the
+// paper's Section V-A methodology end to end on one FIU-style trace
+// and prints the full confusion matrix per injected period.
+//
+//	go run ./examples/verification
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/report"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Build a base trace with NO natural idles: every idle the model
+	// then reports at a non-injected position is a hard false
+	// positive, making the metrics exact.
+	profile, _ := workload.Lookup("webusers")
+	profile.IdleFreq = 0
+	app := workload.Generate(profile, workload.GenOptions{Ops: 25000, Seed: 3})
+	base := app.Execute(device.NewHDD(device.DefaultHDDConfig())).Trace
+	base.TsdevKnown = false
+	for i := range base.Requests {
+		base.Requests[i].Latency = 0 // FIU collection recorded none
+	}
+
+	t := &report.Table{
+		Title:   "idle recovery from inter-arrival times alone (webusers, FIU-style)",
+		Headers: []string{"injected", "Detect(TP)", "Detect(FP)", "Len(TP) secured", "Len(FP) mean"},
+	}
+	for i, period := range []time.Duration{
+		100 * time.Microsecond, time.Millisecond,
+		10 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		injected, truth := verify.Inject(base, verify.InjectionSpec{
+			Period: period, Frac: 0.10, Seed: int64(i + 1),
+		})
+		model, err := infer.Estimate(injected, infer.EstimateOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
+			os.Exit(1)
+		}
+		estimated, _ := infer.Decompose(model, injected)
+		m := verify.Evaluate(truth, estimated)
+		t.AddRow(report.FormatDuration(period),
+			report.Percent(m.DetectionTP()), report.Percent(m.DetectionFP()),
+			report.Percent(m.LenTPSecured()), m.LenFPMean())
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Reading: sub-millisecond idles blur into device latency (the paper's")
+	fmt.Println("\"blurring boundary\"); by 10ms the model recovers nearly all injected")
+	fmt.Println("idle time with the right length.")
+}

@@ -1,0 +1,139 @@
+// Package clock provides the virtual-time substrate the simulators and
+// the replay engine run on.
+//
+// The paper's hardware emulation replays traces in wall-clock time with
+// sleep() and re-collects them with blktrace. Go's garbage collector
+// and scheduler introduce jitter at the microsecond scale that replay
+// timing cannot tolerate, so this reproduction performs replay in
+// discrete virtual time: a Clock that only moves when the simulation
+// advances it, and an event queue for components that need ordered
+// future callbacks. The arithmetic performed is identical to the
+// paper's replay loop; only the passage of time is simulated.
+package clock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock.
+type Clock struct {
+	now time.Duration
+}
+
+// New returns a Clock at time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual
+// time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Event is a scheduled callback in an EventQueue.
+type Event struct {
+	At time.Duration
+	// Fn runs when the event fires. It may schedule further events.
+	Fn func(now time.Duration)
+
+	index int // heap bookkeeping
+	seq   int // FIFO tie-break for equal timestamps
+}
+
+// EventQueue is a deterministic discrete-event scheduler: events fire
+// in timestamp order, FIFO among equal timestamps.
+type EventQueue struct {
+	clock *Clock
+	h     eventHeap
+	seq   int
+}
+
+// NewEventQueue returns an event queue driving the given clock.
+func NewEventQueue(c *Clock) *EventQueue {
+	return &EventQueue{clock: c}
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// Schedule enqueues fn to run at time at. Events scheduled in the past
+// fire at the current time (never backwards).
+func (q *EventQueue) Schedule(at time.Duration, fn func(now time.Duration)) {
+	if at < q.clock.Now() {
+		at = q.clock.Now()
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fn: fn, seq: q.seq})
+}
+
+// ScheduleAfter enqueues fn to run d after the current time.
+func (q *EventQueue) ScheduleAfter(d time.Duration, fn func(now time.Duration)) {
+	q.Schedule(q.clock.Now()+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event fired.
+func (q *EventQueue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	q.clock.AdvanceTo(ev.At)
+	ev.Fn(q.clock.Now())
+	return true
+}
+
+// Run fires events until the queue drains.
+func (q *EventQueue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the
+// clock no further than deadline.
+func (q *EventQueue) RunUntil(deadline time.Duration) {
+	for q.h.Len() > 0 && q.h[0].At <= deadline {
+		q.Step()
+	}
+	q.clock.AdvanceTo(deadline)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

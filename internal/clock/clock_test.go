@@ -1,0 +1,121 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(5 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-time.Hour)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatal("negative advance must be ignored")
+	}
+	c.AdvanceTo(3 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatal("AdvanceTo must never rewind")
+	}
+	c.AdvanceTo(9 * time.Millisecond)
+	if c.Now() != 9*time.Millisecond {
+		t.Fatalf("AdvanceTo failed: %v", c.Now())
+	}
+}
+
+func TestEventQueueOrder(t *testing.T) {
+	c := New()
+	q := NewEventQueue(c)
+	var fired []int
+	q.Schedule(30, func(time.Duration) { fired = append(fired, 3) })
+	q.Schedule(10, func(time.Duration) { fired = append(fired, 1) })
+	q.Schedule(20, func(time.Duration) { fired = append(fired, 2) })
+	q.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("order = %v", fired)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("clock = %v", c.Now())
+	}
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	c := New()
+	q := NewEventQueue(c)
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(7, func(time.Duration) { fired = append(fired, i) })
+	}
+	q.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", fired)
+		}
+	}
+}
+
+func TestEventCanScheduleMore(t *testing.T) {
+	c := New()
+	q := NewEventQueue(c)
+	count := 0
+	var chain func(now time.Duration)
+	chain = func(now time.Duration) {
+		count++
+		if count < 4 {
+			q.ScheduleAfter(10, chain)
+		}
+	}
+	q.Schedule(0, chain)
+	q.Run()
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("clock = %v", c.Now())
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	q := NewEventQueue(c)
+	var at time.Duration = -1
+	q.Schedule(50, func(now time.Duration) { at = now })
+	q.Step()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want 100", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	q := NewEventQueue(c)
+	var fired []time.Duration
+	for _, at := range []time.Duration{10, 20, 30, 40} {
+		at := at
+		q.Schedule(at, func(now time.Duration) { fired = append(fired, now) })
+	}
+	q.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("clock = %v, want deadline", c.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d", q.Len())
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	q := NewEventQueue(New())
+	if q.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}

@@ -1,0 +1,54 @@
+// Package device simulates the two storage systems the paper's
+// co-evaluation runs against: the decade-old HDD node the public traces
+// were collected on (the OLD system) and the modern all-flash array the
+// traces are remastered for (the NEW system).
+//
+// Both simulators are deterministic discrete-time models: Submit maps
+// an arrival time and a block request to the time the device starts
+// servicing it and the time completion is signalled to the host. The
+// decomposition the paper studies falls directly out of the model:
+//
+//	Tcdel = interface/channel transfer time (host <-> device)
+//	Tsdev = device mechanism time (seek+rotation+media for HDD,
+//	        flash array scheduling for SSD)
+//	Tslat = Tcdel + Tsdev = Complete - Start for a sync request
+package device
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Result describes the simulated servicing of one request.
+type Result struct {
+	// Start is when the device began servicing the request (>= the
+	// submission time; later when the device was busy).
+	Start time.Duration
+	// Complete is when completion was signalled to the host.
+	Complete time.Duration
+}
+
+// Latency is the service time the host observes once servicing begins.
+func (r Result) Latency() time.Duration { return r.Complete - r.Start }
+
+// Device is a simulated block storage device.
+type Device interface {
+	// Submit presents a request to the device at virtual time at and
+	// returns its servicing window. Implementations maintain internal
+	// busy state, so Submit must be called in non-decreasing `at`
+	// order (the replay engine guarantees this).
+	Submit(at time.Duration, r trace.Request) Result
+	// Name identifies the device model for reports.
+	Name() string
+	// Reset clears all internal busy/positioning state.
+	Reset()
+}
+
+// bytesDuration returns the time to move n bytes at rate bytesPerSec.
+func bytesDuration(n int64, bytesPerSec float64) time.Duration {
+	if bytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}

@@ -1,0 +1,273 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func req(lba uint64, sectors uint32, op trace.Op) trace.Request {
+	return trace.Request{LBA: lba, Sectors: sectors, Op: op}
+}
+
+func TestHDDSequentialFasterThanRandom(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	// Prime head position.
+	h.Submit(0, req(0, 8, trace.Read))
+	seq := h.Submit(time.Second, req(8, 8, trace.Read))
+	h.Reset()
+	h.Submit(0, req(0, 8, trace.Read))
+	rnd := h.Submit(time.Second, req(500_000_000, 8, trace.Read))
+	if seq.Latency() >= rnd.Latency() {
+		t.Fatalf("sequential (%v) should beat random (%v)", seq.Latency(), rnd.Latency())
+	}
+	// The gap is the positioning delay; for a 7200rpm disk it must be
+	// in the milliseconds.
+	if gap := rnd.Latency() - seq.Latency(); gap < time.Millisecond {
+		t.Fatalf("positioning gap %v implausibly small", gap)
+	}
+}
+
+func TestHDDBusySerialization(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	r1 := h.Submit(0, req(0, 128, trace.Read))
+	// Second request arrives while the first is still being serviced:
+	// it must not start before the mechanism frees.
+	r2 := h.Submit(1*time.Microsecond, req(999999, 8, trace.Read))
+	if r2.Start < r1.Complete {
+		t.Fatalf("overlapping service: r2 start %v < r1 complete %v", r2.Start, r1.Complete)
+	}
+}
+
+func TestHDDIdleDeviceStartsImmediately(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	h.Submit(0, req(0, 8, trace.Read))
+	r := h.Submit(10*time.Second, req(12345, 8, trace.Read))
+	if r.Start != 10*time.Second {
+		t.Fatalf("idle device should start at arrival, got %v", r.Start)
+	}
+}
+
+func TestHDDSeekMonotoneInDistance(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	prev := time.Duration(0)
+	for _, cyl := range []uint64{1, 10, 100, 1000, 10000, 100000} {
+		st := h.seekTime(0, cyl)
+		if st < prev {
+			t.Fatalf("seek time not monotone at cylinder %d", cyl)
+		}
+		if st < h.cfg.SeekMin || st > h.cfg.SeekMax {
+			t.Fatalf("seek %v outside [min,max]", st)
+		}
+		prev = st
+	}
+	if h.seekTime(5, 5) != 0 {
+		t.Fatal("same-cylinder seek must be free")
+	}
+}
+
+func TestHDDRotationalDelayBounded(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	for lba := uint64(0); lba < 4096; lba += 37 {
+		d := h.rotationalDelay(time.Duration(lba)*time.Microsecond*13, lba)
+		if d < 0 || d >= h.rotPeriod {
+			t.Fatalf("rotational delay %v outside [0, period)", d)
+		}
+	}
+}
+
+func TestHDDWriteCache(t *testing.T) {
+	cfg := DefaultHDDConfig()
+	cfg.WriteCache = true
+	h := NewHDD(cfg)
+	h.Submit(0, req(0, 8, trace.Write))
+	w := h.Submit(time.Second, req(900_000_000, 64, trace.Write))
+	cfg.WriteCache = false
+	h2 := NewHDD(cfg)
+	h2.Submit(0, req(0, 8, trace.Write))
+	w2 := h2.Submit(time.Second, req(900_000_000, 64, trace.Write))
+	if w.Latency() >= w2.Latency() {
+		t.Fatalf("cached write (%v) should beat uncached (%v)", w.Latency(), w2.Latency())
+	}
+}
+
+func TestHDDLargerTransfersTakeLonger(t *testing.T) {
+	h := NewHDD(DefaultHDDConfig())
+	small := h.Submit(0, req(0, 8, trace.Read))
+	h.Reset()
+	big := h.Submit(0, req(0, 2048, trace.Read))
+	if big.Latency() <= small.Latency() {
+		t.Fatalf("2048-sector read (%v) should exceed 8-sector (%v)", big.Latency(), small.Latency())
+	}
+}
+
+func TestSSDReadFasterThanHDDRandomRead(t *testing.T) {
+	s := NewSSD(DefaultSSDConfig())
+	h := NewHDD(DefaultHDDConfig())
+	h.Submit(0, req(0, 8, trace.Read))
+	hr := h.Submit(time.Second, req(700_000_000, 8, trace.Read))
+	sr := s.Submit(time.Second, req(700_000_000, 8, trace.Read))
+	if sr.Latency() >= hr.Latency() {
+		t.Fatalf("SSD read (%v) should beat HDD random read (%v)", sr.Latency(), hr.Latency())
+	}
+	// SSD 4KB read should land in the tens-of-microseconds regime.
+	if sr.Latency() > time.Millisecond {
+		t.Fatalf("SSD small read %v implausibly slow", sr.Latency())
+	}
+}
+
+func TestSSDWriteSlowerThanRead(t *testing.T) {
+	s := NewSSD(DefaultSSDConfig())
+	r := s.Submit(0, req(0, 8, trace.Read))
+	s.Reset()
+	w := s.Submit(0, req(0, 8, trace.Write))
+	if w.Latency() <= r.Latency() {
+		t.Fatalf("program (%v) should exceed read (%v)", w.Latency(), r.Latency())
+	}
+}
+
+func TestSSDParallelismLargeRequest(t *testing.T) {
+	// A 18-page read stripes across all 18 channels: total time should
+	// be far less than 18 sequential page reads.
+	cfg := DefaultSSDConfig()
+	s := NewSSD(cfg)
+	pages := cfg.Channels
+	sectors := uint32(uint64(pages) * uint64(cfg.PageKB) * 1024 / trace.SectorSize)
+	big := s.Submit(0, req(0, sectors, trace.Read))
+	serial := time.Duration(pages) * (cfg.ReadLatency + bytesDuration(int64(cfg.PageKB)*1024, cfg.ChannelBps))
+	if big.Latency() >= serial {
+		t.Fatalf("striped read %v not faster than serial %v", big.Latency(), serial)
+	}
+}
+
+func TestSSDChannelContention(t *testing.T) {
+	cfg := SSDConfig{Channels: 1, DiesPerChan: 1, PlanesPerDie: 1}
+	s := NewSSD(cfg)
+	r1 := s.Submit(0, req(0, 16, trace.Read))
+	r2 := s.Submit(0, req(16, 16, trace.Read))
+	if r2.Complete <= r1.Complete {
+		t.Fatal("single-channel device must serialize back-to-back reads")
+	}
+}
+
+func TestSSDGeometryMapping(t *testing.T) {
+	cfg := DefaultSSDConfig()
+	s := NewSSD(cfg)
+	seen := map[int]bool{}
+	for p := uint64(0); p < uint64(cfg.Channels); p++ {
+		ch, _, _ := s.geometryOf(p)
+		if seen[ch] {
+			t.Fatalf("channel %d reused within first stripe", ch)
+		}
+		seen[ch] = true
+	}
+	// Page Channels lands on channel 0, die 1.
+	ch, die, _ := s.geometryOf(uint64(cfg.Channels))
+	if ch != 0 || die != 1 {
+		t.Fatalf("page %d -> ch %d die %d, want 0,1", cfg.Channels, ch, die)
+	}
+}
+
+func TestArrayStripesAcrossMembers(t *testing.T) {
+	a := NewArray(DefaultArrayConfig())
+	// A request spanning all four members must beat 4x a single-chunk
+	// request's media time... simpler invariant: it completes, and a
+	// same-size request on a 1-member array is slower.
+	chunkSectors := uint64(DefaultArrayConfig().ChunkKB) * 1024 / trace.SectorSize
+	sectors := uint32(chunkSectors * 4)
+	wide := a.Submit(0, req(0, sectors, trace.Read))
+
+	cfg1 := DefaultArrayConfig()
+	cfg1.Members = 1
+	a1 := NewArray(cfg1)
+	narrow := a1.Submit(0, req(0, sectors, trace.Read))
+	if wide.Latency() >= narrow.Latency() {
+		t.Fatalf("4-way stripe (%v) should beat 1-way (%v)", wide.Latency(), narrow.Latency())
+	}
+}
+
+func TestArrayReadBandwidthEnvelope(t *testing.T) {
+	// Sustained large sequential reads should land in the multi-GB/s
+	// regime (paper: ~9 GB/s reads for the 4-SSD node).
+	a := NewArray(DefaultArrayConfig())
+	const reqKB = 1024
+	sectors := uint32(reqKB * 1024 / trace.SectorSize)
+	var last time.Duration
+	totalBytes := int64(0)
+	lba := uint64(0)
+	for i := 0; i < 200; i++ {
+		r := a.Submit(0, req(lba, sectors, trace.Read))
+		if r.Complete > last {
+			last = r.Complete
+		}
+		lba += uint64(sectors)
+		totalBytes += int64(reqKB) * 1024
+	}
+	gbps := float64(totalBytes) / last.Seconds() / 1e9
+	if gbps < 3 || gbps > 20 {
+		t.Fatalf("array read bandwidth %.1f GB/s outside plausible envelope", gbps)
+	}
+}
+
+func TestArrayWriteBandwidthBelowRead(t *testing.T) {
+	run := func(op trace.Op) float64 {
+		a := NewArray(DefaultArrayConfig())
+		sectors := uint32(1024 * 1024 / trace.SectorSize)
+		var last time.Duration
+		lba := uint64(0)
+		total := int64(0)
+		for i := 0; i < 200; i++ {
+			r := a.Submit(0, req(lba, sectors, op))
+			if r.Complete > last {
+				last = r.Complete
+			}
+			lba += uint64(sectors)
+			total += 1024 * 1024
+		}
+		return float64(total) / last.Seconds() / 1e9
+	}
+	read, write := run(trace.Read), run(trace.Write)
+	if write >= read {
+		t.Fatalf("write bandwidth %.1f GB/s should be below read %.1f GB/s", write, read)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	for _, d := range []Device{NewHDD(DefaultHDDConfig()), NewSSD(DefaultSSDConfig()), NewArray(DefaultArrayConfig())} {
+		r1 := d.Submit(0, req(123456, 64, trace.Read))
+		d.Reset()
+		r2 := d.Submit(0, req(123456, 64, trace.Read))
+		if r1.Start != r2.Start || r1.Complete != r2.Complete {
+			t.Fatalf("%s: Reset did not restore determinism: %+v vs %+v", d.Name(), r1, r2)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewHDD(DefaultHDDConfig()).Name() == "" ||
+		NewSSD(DefaultSSDConfig()).Name() == "" ||
+		NewArray(DefaultArrayConfig()).Name() == "" {
+		t.Fatal("devices must have names")
+	}
+}
+
+func TestCompletionNeverBeforeStart(t *testing.T) {
+	devices := []Device{NewHDD(DefaultHDDConfig()), NewSSD(DefaultSSDConfig()), NewArray(DefaultArrayConfig())}
+	for _, d := range devices {
+		at := time.Duration(0)
+		lba := uint64(0)
+		for i := 0; i < 500; i++ {
+			op := trace.Read
+			if i%3 == 0 {
+				op = trace.Write
+			}
+			r := d.Submit(at, req(lba, uint32(8+(i%64)*8), op))
+			if r.Complete < r.Start || r.Start < at {
+				t.Fatalf("%s: bad window %+v at %v", d.Name(), r, at)
+			}
+			at += time.Duration(i%100) * time.Microsecond
+			lba = (lba + 977) % 100_000_000
+		}
+	}
+}

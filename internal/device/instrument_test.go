@@ -1,0 +1,117 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestInstrumentedCounts(t *testing.T) {
+	d := NewInstrumented(&Null{Fixed: 100 * time.Microsecond})
+	d.Submit(0, req(0, 8, trace.Read))
+	d.Submit(time.Millisecond, req(8, 16, trace.Write))
+	d.Submit(2*time.Millisecond, req(24, 8, trace.Read))
+	s := d.Snapshot()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ReadBytes != 16*512 || s.WriteBytes != 16*512 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.MeanLatency != 100*time.Microsecond || s.MaxLatency != 100*time.Microsecond {
+		t.Fatalf("latency: %+v", s)
+	}
+	if s.MeanQueueWait != 0 {
+		t.Fatalf("queue wait: %+v", s)
+	}
+}
+
+func TestInstrumentedReset(t *testing.T) {
+	d := NewInstrumented(&Null{})
+	d.Submit(0, req(0, 8, trace.Read))
+	d.Reset()
+	s := d.Snapshot()
+	if s.Reads != 0 || s.MeanLatency != 0 {
+		t.Fatalf("reset did not clear: %+v", s)
+	}
+	if d.Name() != "null+stats" {
+		t.Fatalf("name: %q", d.Name())
+	}
+}
+
+func TestInstrumentedUtilization(t *testing.T) {
+	// HDD serving back-to-back requests is ~100% utilized.
+	d := NewInstrumented(NewHDD(DefaultHDDConfig()))
+	at := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		res := d.Submit(at, req(uint64(i)*1000000, 8, trace.Read))
+		at = res.Complete
+	}
+	s := d.Snapshot()
+	if s.Utilization < 0.9 || s.Utilization > 1.1 {
+		t.Fatalf("utilization = %v, want ~1", s.Utilization)
+	}
+}
+
+func TestNullDevice(t *testing.T) {
+	n := &Null{}
+	r := n.Submit(5*time.Second, req(0, 8, trace.Read))
+	if r.Start != 5*time.Second || r.Complete != 5*time.Second {
+		t.Fatalf("null result: %+v", r)
+	}
+	n2 := &Null{Fixed: time.Millisecond}
+	if got := n2.Submit(0, req(0, 8, trace.Read)); got.Complete != time.Millisecond {
+		t.Fatalf("fixed null: %+v", got)
+	}
+	n.Reset() // must not panic
+	if n.Name() != "null" {
+		t.Fatal("name")
+	}
+}
+
+func TestRecordedReplaysLatencies(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Arrival: 0, LBA: 0, Sectors: 8, Latency: 100 * time.Microsecond},
+		{Arrival: 1, LBA: 8, Sectors: 8, Latency: 300 * time.Microsecond},
+		{Arrival: 2, LBA: 16, Sectors: 8}, // zero: fallback
+	}}
+	d := NewRecorded(tr, 50*time.Microsecond)
+	r0 := d.Submit(0, req(0, 8, trace.Read))
+	if r0.Complete-r0.Start != 100*time.Microsecond {
+		t.Fatalf("r0: %+v", r0)
+	}
+	r1 := d.Submit(r0.Complete, req(8, 8, trace.Read))
+	if r1.Complete-r1.Start != 300*time.Microsecond {
+		t.Fatalf("r1: %+v", r1)
+	}
+	r2 := d.Submit(r1.Complete, req(16, 8, trace.Read))
+	if r2.Complete-r2.Start != 50*time.Microsecond {
+		t.Fatalf("r2 fallback: %+v", r2)
+	}
+	// Past the recorded range: fallback again.
+	r3 := d.Submit(r2.Complete, req(24, 8, trace.Read))
+	if r3.Complete-r3.Start != 50*time.Microsecond {
+		t.Fatalf("r3: %+v", r3)
+	}
+	// Busy serialization.
+	d.Reset()
+	a := d.Submit(0, req(0, 8, trace.Read))
+	b := d.Submit(0, req(8, 8, trace.Read))
+	if b.Start < a.Complete {
+		t.Fatal("recorded device must serialize")
+	}
+}
+
+func TestRecordedResetRestartsSequence(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Latency: time.Millisecond, Sectors: 8},
+	}}
+	d := NewRecorded(tr, time.Microsecond)
+	d.Submit(0, req(0, 8, trace.Read))
+	d.Reset()
+	r := d.Submit(0, req(0, 8, trace.Read))
+	if r.Complete-r.Start != time.Millisecond {
+		t.Fatal("Reset should restart the latency sequence")
+	}
+}

@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section V) plus the motivating Figures 1 and 3,
+// on top of the simulated substrate: synthetic corpora calibrated to
+// Table I, the HDD model as the OLD system and the all-flash array as
+// the NEW system.
+//
+// Each ExpN function is deterministic for a given Config and returns a
+// result struct with a Render method; cmd/experiments and the root
+// bench_test.go are thin wrappers around these.
+package experiments
+
+import (
+	"repro/internal/device"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The zero value picks defaults that
+// run the full suite in seconds; raise Ops and TracesPerFamily to
+// approach the paper's trace sizes.
+type Config struct {
+	// Ops is the number of I/O instructions per generated trace
+	// (default 4000; the paper's traces hold millions — the
+	// distributions stabilize long before that).
+	Ops int
+	// TracesPerFamily is how many traces to generate per workload
+	// family in corpus-wide sweeps (default 2, capped by the family's
+	// Table I count).
+	TracesPerFamily int
+	// Seed offsets all derived seeds, for sensitivity checks.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 4000
+	}
+	if c.TracesPerFamily == 0 {
+		c.TracesPerFamily = 2
+	}
+	return c
+}
+
+// NewOldDevice builds the OLD system: the HDD node the public corpora
+// were collected on.
+func NewOldDevice() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }
+
+// NewTarget builds the NEW system: the paper's 4-SSD all-flash array.
+func NewTarget() device.Device { return device.NewArray(device.DefaultArrayConfig()) }
+
+// GenerateOld synthesizes trace index idx of a workload family and
+// collects it on the OLD device, returning the block trace (stamped
+// with the family's TsdevKnown property) and the execution ground
+// truth.
+func GenerateOld(p workload.Profile, idx, ops int, seed int64) (*trace.Trace, replay.ExecResult) {
+	app := workload.Generate(p, workload.GenOptions{
+		Ops:  ops,
+		Seed: workload.TraceSeed(p.Name, idx) ^ seed,
+	})
+	res := app.Execute(NewOldDevice())
+	res.Trace.Name = traceName(p.Name, idx)
+	res.Trace.Workload = p.Name
+	res.Trace.Set = p.Set
+	res.Trace.TsdevKnown = p.TsdevKnown
+	if !p.TsdevKnown {
+		// FIU-style collection recorded no completions: strip them.
+		for i := range res.Trace.Requests {
+			res.Trace.Requests[i].Latency = 0
+		}
+	}
+	return res.Trace, res
+}
+
+func traceName(family string, idx int) string {
+	return family + "-" + string(rune('0'+idx/10%10)) + string(rune('0'+idx%10))
+}
+
+// inttMicros returns a trace's inter-arrival times in µs.
+func inttMicros(t *trace.Trace) []float64 { return t.InterArrivalMicros() }

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCacheImpact(t *testing.T) {
+	r, err := CacheImpact(Config{Ops: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache must absorb some reads...
+	if r.HitRate <= 0 {
+		t.Fatal("zero hit rate: cache inert")
+	}
+	// ...and shift the block-level op mix toward writes (buffered
+	// writes surface as flusher traffic while read hits disappear).
+	if r.CachedReadFrac >= r.RawReadFrac {
+		t.Fatalf("cached read fraction %v should drop below raw %v",
+			r.CachedReadFrac, r.RawReadFrac)
+	}
+	// Reconstruction still recovers the idle mass from the
+	// cache-shaped trace: within 25% of the raw collection's.
+	if r.RawIdle > 0 {
+		ratio := float64(r.CachedIdle) / float64(r.RawIdle)
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Fatalf("cached idle recovery ratio %.2f", ratio)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "page cache") {
+		t.Fatal("render incomplete")
+	}
+}

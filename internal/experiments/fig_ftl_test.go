@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFTLImpactOrdering(t *testing.T) {
+	r, err := FTLImpact(Config{Ops: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]FTLImpactRow{}
+	for _, row := range r.Rows {
+		byName[row.Method] = row
+	}
+	target := byName["Target(old)"]
+	tt := byName["TraceTracker"]
+	rev := byName["Revision"]
+	// Revision destroyed the idle budget: its foreground share must
+	// exceed both the target's and TraceTracker's.
+	if rev.ForegroundShare <= target.ForegroundShare {
+		t.Fatalf("Revision foreground %v should exceed target %v",
+			rev.ForegroundShare, target.ForegroundShare)
+	}
+	if rev.ForegroundShare <= tt.ForegroundShare {
+		t.Fatalf("Revision foreground %v should exceed TraceTracker %v",
+			rev.ForegroundShare, tt.ForegroundShare)
+	}
+	// TraceTracker preserves the background budget: idle GC time in
+	// the same regime as the target's (within 2x).
+	if target.IdleUsed > 0 {
+		ratio := float64(tt.IdleUsed) / float64(target.IdleUsed)
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("TraceTracker idle GC %v vs target %v (ratio %.2f)",
+				tt.IdleUsed, target.IdleUsed, ratio)
+		}
+	}
+	// Revision gets no background budget at all.
+	if rev.IdleUsed > target.IdleUsed/10 {
+		t.Fatalf("Revision idle GC %v should be starved (target %v)",
+			rev.IdleUsed, target.IdleUsed)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "FTL study") {
+		t.Fatal("render incomplete")
+	}
+}

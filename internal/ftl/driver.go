@@ -1,0 +1,70 @@
+package ftl
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RunResult summarizes a trace-driven FTL simulation.
+type RunResult struct {
+	Stats Stats
+	// Requests processed.
+	Requests int
+	// IdleOffered is the total inter-arrival idle presented to the
+	// FTL (inter-arrival time beyond the request's own service).
+	IdleOffered time.Duration
+	// Elapsed is the simulated span including GC stalls.
+	Elapsed time.Duration
+}
+
+// ForegroundShare is the fraction of GC rounds that stalled the host —
+// the number the paper's background-budget discussion predicts will
+// differ across reconstructions.
+func (r RunResult) ForegroundShare() float64 {
+	total := r.Stats.ForegroundGC + r.Stats.BackgroundGC
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.ForegroundGC) / float64(total)
+}
+
+// Run drives the FTL with a block trace: writes program pages, reads
+// charge read latency, and the gap between a request's completion and
+// the next arrival is offered to background GC — exactly the idle
+// budget the trace's timing context encodes. Traces reconstructed
+// without idle context offer no budget, forcing GC into the
+// foreground.
+func Run(f *FTL, t *trace.Trace) (RunResult, error) {
+	var res RunResult
+	var now time.Duration
+	for i, r := range t.Requests {
+		if r.Arrival > now {
+			// The device sat idle until this arrival: background GC
+			// may use the gap.
+			gap := r.Arrival - now
+			res.IdleOffered += gap
+			f.Idle(gap)
+			now = r.Arrival
+		}
+		first, count := f.PagesOf(r)
+		var svc time.Duration
+		for p := int64(0); p < count; p++ {
+			lpn := (first + p) % f.LogicalPages()
+			if r.Op == trace.Read {
+				svc += f.Read(lpn)
+			} else {
+				d, err := f.Write(lpn)
+				if err != nil {
+					return res, err
+				}
+				svc += d
+			}
+		}
+		now += svc
+		res.Requests = i + 1
+	}
+	res.Stats = f.Stats()
+	res.Elapsed = now
+	return res, nil
+}

@@ -1,0 +1,330 @@
+// Package hoststack models the host side of the paper's Fig 2a
+// storage stack: the mode switch and buffer copy an I/O system call
+// costs, the VFS page cache that absorbs read hits and buffers
+// writes, and the writeback flusher that turns dirty pages into the
+// block-layer requests an underlying device actually sees.
+//
+// The Stack wraps any device.Device and is itself a device.Device, so
+// the replay machinery composes unchanged:
+//
+//	inner := device.NewHDD(device.DefaultHDDConfig())
+//	host := hoststack.New(hoststack.DefaultConfig(), inner)
+//	res := app.Execute(host)      // application-visible timing
+//	blk := host.BlockTrace()      // what blktrace records below the cache
+//
+// This is the substrate behind the paper's observation that public
+// block traces are collected *underneath* the block layer: the
+// application-level behaviour and the block-level trace differ by
+// exactly the cache hits, write buffering and readahead modeled here.
+package hoststack
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the host stack.
+type Config struct {
+	// CachePages is the page-cache capacity in pages.
+	CachePages int
+	// PageKB is the cache page size.
+	PageKB int
+	// WriteBack buffers writes in the cache (completing them at
+	// memory speed) and flushes them later; false means write-through.
+	WriteBack bool
+	// DirtyHighWater triggers synchronous flushing when the dirty
+	// fraction of the cache exceeds it (the kernel flusher's
+	// dirty_ratio analogue).
+	DirtyHighWater float64
+	// FlushBatch is the number of dirty pages each flush round writes.
+	FlushBatch int
+	// ReadAheadPages prefetches this many pages after a read miss.
+	ReadAheadPages int
+	// SyscallOverhead is the CPU cost of the user/kernel mode switch
+	// and buffer copy charged to every request (the paper's hidden
+	// CPU burst).
+	SyscallOverhead time.Duration
+	// HitLatency is the cost of serving a request from the cache.
+	HitLatency time.Duration
+}
+
+// DefaultConfig returns a 256 MiB write-back cache with modest
+// readahead, roughly a 2007-era file server's per-volume share.
+func DefaultConfig() Config {
+	return Config{
+		CachePages:      65536, // 256 MiB of 4K pages
+		PageKB:          4,
+		WriteBack:       true,
+		DirtyHighWater:  0.20,
+		FlushBatch:      32,
+		ReadAheadPages:  8,
+		SyscallOverhead: 3 * time.Microsecond,
+		HitLatency:      2 * time.Microsecond,
+	}
+}
+
+// pageKey identifies a cached page.
+type pageKey struct {
+	dev  uint32
+	page uint64
+}
+
+// cachePage is one resident page.
+type cachePage struct {
+	key   pageKey
+	dirty bool
+	elem  *list.Element
+}
+
+// Stack is the host storage stack; it implements device.Device.
+type Stack struct {
+	cfg   Config
+	inner device.Device
+
+	pages map[pageKey]*cachePage
+	lru   *list.List // front = most recent
+
+	log *trace.Trace
+
+	dirty                 int
+	hits, misses, flushed uint64
+}
+
+// New builds a Stack over inner (zero cfg fields default).
+func New(cfg Config, inner device.Device) *Stack {
+	def := DefaultConfig()
+	if cfg.CachePages == 0 {
+		cfg.CachePages = def.CachePages
+	}
+	if cfg.PageKB == 0 {
+		cfg.PageKB = def.PageKB
+	}
+	if cfg.DirtyHighWater == 0 {
+		cfg.DirtyHighWater = def.DirtyHighWater
+	}
+	if cfg.FlushBatch == 0 {
+		cfg.FlushBatch = def.FlushBatch
+	}
+	if cfg.SyscallOverhead == 0 {
+		cfg.SyscallOverhead = def.SyscallOverhead
+	}
+	if cfg.HitLatency == 0 {
+		cfg.HitLatency = def.HitLatency
+	}
+	s := &Stack{cfg: cfg, inner: inner}
+	s.Reset()
+	return s
+}
+
+// Name implements device.Device.
+func (s *Stack) Name() string { return "hoststack(" + s.inner.Name() + ")" }
+
+// Reset implements device.Device.
+func (s *Stack) Reset() {
+	s.inner.Reset()
+	s.pages = make(map[pageKey]*cachePage)
+	s.lru = list.New()
+	s.log = &trace.Trace{Name: "blocktrace", TsdevKnown: true}
+	s.dirty = 0
+	s.hits, s.misses, s.flushed = 0, 0, 0
+}
+
+// HitRate returns cache hits / (hits+misses) for reads.
+func (s *Stack) HitRate() float64 {
+	total := s.hits + s.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(total)
+}
+
+// BlockTrace returns the block-layer request log collected so far —
+// what blktrace underneath the cache would have captured. The caller
+// must not mutate it while the stack is in use.
+func (s *Stack) BlockTrace() *trace.Trace {
+	s.log.Sort()
+	return s.log
+}
+
+func (s *Stack) pageSectors() uint64 {
+	return uint64(s.cfg.PageKB) * 1024 / trace.SectorSize
+}
+
+// Submit implements device.Device: the application-visible service of
+// one request through the cache.
+func (s *Stack) Submit(at time.Duration, r trace.Request) device.Result {
+	now := at + s.cfg.SyscallOverhead
+	ps := s.pageSectors()
+	first := r.LBA / ps
+	last := (r.End() - 1) / ps
+
+	if r.Op == trace.Read {
+		return s.read(now, r, first, last)
+	}
+	return s.write(now, r, first, last)
+}
+
+func (s *Stack) read(now time.Duration, r trace.Request, first, last uint64) device.Result {
+	// Partition the span into hits and misses; misses fetch from the
+	// inner device synchronously (plus readahead beyond the span).
+	var missFrom, missTo uint64
+	haveMiss := false
+	for p := first; p <= last; p++ {
+		if s.touch(pageKey{r.Device, p}, false) {
+			s.hits++
+			continue
+		}
+		s.misses++
+		if !haveMiss {
+			missFrom, haveMiss = p, true
+		}
+		missTo = p
+	}
+	complete := now + s.cfg.HitLatency
+	if haveMiss {
+		ra := uint64(s.cfg.ReadAheadPages)
+		fetchTo := missTo + ra
+		res := s.issue(now, r.Device, missFrom, fetchTo, trace.Read)
+		for p := missFrom; p <= fetchTo; p++ {
+			s.install(pageKey{r.Device, p}, false, now)
+		}
+		complete = res.Complete
+	}
+	return device.Result{Start: now, Complete: complete}
+}
+
+func (s *Stack) write(now time.Duration, r trace.Request, first, last uint64) device.Result {
+	if !s.cfg.WriteBack {
+		res := s.issue(now, r.Device, first, last, trace.Write)
+		for p := first; p <= last; p++ {
+			s.install(pageKey{r.Device, p}, false, now)
+		}
+		return device.Result{Start: now, Complete: res.Complete}
+	}
+	for p := first; p <= last; p++ {
+		k := pageKey{r.Device, p}
+		if !s.touch(k, true) {
+			s.install(k, true, now)
+		}
+	}
+	complete := now + s.cfg.HitLatency
+	// Dirty high-water: flush synchronously, charging this request —
+	// the stall applications observe when the flusher falls behind.
+	if stall := s.maybeFlush(now); stall > 0 {
+		complete += stall
+	}
+	return device.Result{Start: now, Complete: complete}
+}
+
+// touch marks a resident page used (and dirty when dirty), reporting
+// residency.
+func (s *Stack) touch(k pageKey, dirty bool) bool {
+	pg, ok := s.pages[k]
+	if !ok {
+		return false
+	}
+	s.lru.MoveToFront(pg.elem)
+	if dirty && !pg.dirty {
+		pg.dirty = true
+		s.dirty++
+	}
+	return true
+}
+
+// install inserts a page, evicting (and writing back) the LRU victim
+// when full.
+func (s *Stack) install(k pageKey, dirty bool, now time.Duration) {
+	if pg, ok := s.pages[k]; ok {
+		s.lru.MoveToFront(pg.elem)
+		if dirty && !pg.dirty {
+			pg.dirty = true
+			s.dirty++
+		}
+		return
+	}
+	for len(s.pages) >= s.cfg.CachePages {
+		victimElem := s.lru.Back()
+		if victimElem == nil {
+			break
+		}
+		victim := victimElem.Value.(*cachePage)
+		if victim.dirty {
+			s.issue(now, victim.key.dev, victim.key.page, victim.key.page, trace.Write)
+			s.flushed++
+			s.dirty--
+		}
+		s.lru.Remove(victimElem)
+		delete(s.pages, victim.key)
+	}
+	pg := &cachePage{key: k, dirty: dirty}
+	pg.elem = s.lru.PushFront(pg)
+	s.pages[k] = pg
+	if dirty {
+		s.dirty++
+	}
+}
+
+// maybeFlush writes back batches while the dirty fraction exceeds the
+// high-water mark; returns the synchronous stall incurred.
+func (s *Stack) maybeFlush(now time.Duration) time.Duration {
+	var stall time.Duration
+	for s.dirtyCount() > int(s.cfg.DirtyHighWater*float64(s.cfg.CachePages)) {
+		flushedInBatch := 0
+		for e := s.lru.Back(); e != nil && flushedInBatch < s.cfg.FlushBatch; e = e.Prev() {
+			pg := e.Value.(*cachePage)
+			if !pg.dirty {
+				continue
+			}
+			res := s.issue(now+stall, pg.key.dev, pg.key.page, pg.key.page, trace.Write)
+			stall += res.Complete - (now + stall)
+			pg.dirty = false
+			s.dirty--
+			s.flushed++
+			flushedInBatch++
+		}
+		if flushedInBatch == 0 {
+			break
+		}
+	}
+	return stall
+}
+
+// Flush synchronously writes back every dirty page (fsync/unmount).
+func (s *Stack) Flush(at time.Duration) time.Duration {
+	var stall time.Duration
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		pg := e.Value.(*cachePage)
+		if !pg.dirty {
+			continue
+		}
+		res := s.issue(at+stall, pg.key.dev, pg.key.page, pg.key.page, trace.Write)
+		stall += res.Complete - (at + stall)
+		pg.dirty = false
+		s.dirty--
+		s.flushed++
+	}
+	return stall
+}
+
+// dirtyCount returns the maintained dirty-page counter.
+func (s *Stack) dirtyCount() int { return s.dirty }
+
+// issue sends a page span to the inner device and records it in the
+// block-layer log.
+func (s *Stack) issue(at time.Duration, dev uint32, firstPage, lastPage uint64, op trace.Op) device.Result {
+	ps := s.pageSectors()
+	req := trace.Request{
+		Arrival: at,
+		Device:  dev,
+		LBA:     firstPage * ps,
+		Sectors: uint32((lastPage - firstPage + 1) * ps),
+		Op:      op,
+	}
+	res := s.inner.Submit(at, req)
+	req.Latency = res.Complete - at
+	s.log.Requests = append(s.log.Requests, req)
+	return res
+}

@@ -1,0 +1,69 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyShapeGlobalMaxima(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 90% of mass in a tight spike: Fig 5a.
+	var s []float64
+	for i := 0; i < 900; i++ {
+		s = append(s, 100+rng.Float64())
+	}
+	for i := 0; i < 100; i++ {
+		s = append(s, 50+rng.Float64()*200)
+	}
+	if got := ClassifyShape(s); got != ShapeGlobalMaxima {
+		t.Fatalf("got %v, want global-maxima", got)
+	}
+}
+
+func TestClassifyShapeChunkyMiddle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Smooth wide spread: Fig 5b.
+	var s []float64
+	for i := 0; i < 3000; i++ {
+		s = append(s, math.Pow(10, 1+rng.Float64()*4))
+	}
+	if got := ClassifyShape(s); got != ShapeChunkyMiddle {
+		t.Fatalf("got %v, want chunky-middle", got)
+	}
+}
+
+func TestClassifyShapeMultiMaxima(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Two well-separated tight modes: Fig 5c.
+	var s []float64
+	for i := 0; i < 500; i++ {
+		s = append(s, 100+rng.Float64()*2)
+	}
+	for i := 0; i < 500; i++ {
+		s = append(s, 10000+rng.Float64()*200)
+	}
+	if got := ClassifyShape(s); got != ShapeMultiMaxima {
+		t.Fatalf("got %v, want multi-maxima", got)
+	}
+}
+
+func TestClassifyShapeDegenerate(t *testing.T) {
+	if got := ClassifyShape([]float64{1, 1}); got != ShapeGlobalMaxima {
+		t.Fatalf("two identical samples: got %v", got)
+	}
+	if got := ClassifyShape([]float64{5}); got != ShapeGlobalMaxima {
+		t.Fatalf("one sample: got %v", got)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeGlobalMaxima.String() != "global-maxima" ||
+		ShapeChunkyMiddle.String() != "chunky-middle" ||
+		ShapeMultiMaxima.String() != "multi-maxima" {
+		t.Fatal("Shape.String broken")
+	}
+	if Shape(9).String() == "" {
+		t.Fatal("unknown shape should stringify")
+	}
+}

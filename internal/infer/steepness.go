@@ -1,0 +1,214 @@
+package infer
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/stats"
+)
+
+// SteepnessOptions tunes Algorithm 1 and the interpolation stage. The
+// zero value selects the paper's configuration.
+type SteepnessOptions struct {
+	// Binning selects the PDF histogram spacing; the pipeline default
+	// is log bins (inter-arrivals span 7 decades).
+	Binning stats.Binning
+	// Bins is the histogram resolution (default 96).
+	Bins int
+	// MarginDivisor sets the outlier margin to var(PDF)/MarginDivisor.
+	// The paper uses half the variance, i.e. divisor 2 (default).
+	MarginDivisor float64
+	// Interp selects the curve-fitting scheme for locating the CDF's
+	// maximum-derivative point: "pchip" (paper's choice, default),
+	// "spline", or "linear" (ablations).
+	Interp string
+	// SamplesPerSegment is the derivative scan density (default 8).
+	SamplesPerSegment int
+}
+
+func (o SteepnessOptions) withDefaults() SteepnessOptions {
+	// Binning's zero value is LinearBins but the pipeline default is
+	// log bins; a fully zero struct (Bins unset) selects LogBins.
+	// Callers wanting linear bins set Bins explicitly as well.
+	if o.Bins == 0 {
+		o.Binning = stats.LogBins
+		o.Bins = 96
+	}
+	if o.MarginDivisor == 0 {
+		o.MarginDivisor = 2
+	}
+	if o.Interp == "" {
+		o.Interp = "pchip"
+	}
+	if o.SamplesPerSegment == 0 {
+		o.SamplesPerSegment = 8
+	}
+	return o
+}
+
+// DefaultSteepnessOptions returns the paper's configuration explicitly.
+func DefaultSteepnessOptions() SteepnessOptions {
+	return SteepnessOptions{
+		Binning:           stats.LogBins,
+		Bins:              96,
+		MarginDivisor:     2,
+		Interp:            "pchip",
+		SamplesPerSegment: 8,
+	}
+}
+
+// SteepnessResult is the outcome of examining one group's CDF.
+type SteepnessResult struct {
+	// Score is Algorithm 1's steepness: the vertical distance between
+	// the utmost PDF outlier and the least-squares line at that point.
+	// Higher means a sharper single rise in the CDF.
+	Score float64
+	// UtmostMicros is the Tintt (µs) of the utmost outlier.
+	UtmostMicros float64
+	// RiseMicros is the Tintt (µs) at the maximum of the interpolated
+	// CDF's derivative — the representative T'intt of Section III.
+	RiseMicros float64
+	// MaxDeriv is the derivative value at RiseMicros.
+	MaxDeriv float64
+}
+
+// ExamineSteepness runs Algorithm 1 on the inter-arrival samples (µs)
+// and locates the CDF's maximum-derivative point. It returns ok=false
+// when the sample is too small or degenerate (fewer than two distinct
+// values) for the analysis to mean anything.
+func ExamineSteepness(inttMicros []float64, o SteepnessOptions) (SteepnessResult, bool) {
+	o = o.withDefaults()
+	var res SteepnessResult
+	if len(inttMicros) < 2 {
+		return res, false
+	}
+	lo, hi := stats.Min(inttMicros), stats.Max(inttMicros)
+	if lo == hi {
+		// All samples identical: infinitely steep CDF. Report the
+		// degenerate point directly; Score uses the full mass.
+		res.Score = 1
+		res.UtmostMicros = lo
+		res.RiseMicros = lo
+		res.MaxDeriv = math.Inf(1)
+		return res, true
+	}
+	if lo <= 0 {
+		lo = 1e-3 // clamp to 1ns in µs units for log binning
+	}
+
+	// Step 1: PDF of Tintt over the histogram support.
+	h, err := stats.NewHistogram(o.Binning, lo, hi, o.Bins)
+	if err != nil {
+		return res, false
+	}
+	for _, v := range inttMicros {
+		h.Observe(v)
+	}
+	xs, ps := h.PDF()
+
+	// Step 2: least-squares straight line through (Tintt, PDF).
+	fit, err := stats.LeastSquares(xs, ps)
+	if err != nil {
+		return res, false
+	}
+
+	// Step 3: outliers — PDF points above the line by more than the
+	// margin (half the PDF variance, per the paper).
+	margin := stats.Variance(ps) / o.MarginDivisor
+	bestDist := 0.0
+	bestX := 0.0
+	found := false
+	for i := range xs {
+		dist := ps[i] - fit.At(xs[i])
+		if dist > margin && dist > bestDist {
+			bestDist = dist
+			bestX = xs[i]
+			found = true
+		}
+	}
+	if !found {
+		// No bucket stands out: fall back to the highest-mass bucket
+		// so every group still yields a representative point.
+		for i := range xs {
+			if d := ps[i] - fit.At(xs[i]); d > bestDist {
+				bestDist, bestX = d, xs[i]
+			}
+		}
+	}
+	res.Score = bestDist
+	res.UtmostMicros = bestX
+
+	// Step 4 (Section IV "steepness analysis"): interpolate the CDF
+	// and find the maximum of its derivative.
+	cx, cy := dedupePoints(NewCDFPoints(inttMicros))
+	if len(cx) < 2 {
+		res.RiseMicros = bestX
+		res.MaxDeriv = math.Inf(1)
+		return res, true
+	}
+	if len(cx) < 8 {
+		// Too few distinct values for curve fitting to be meaningful
+		// (a 2-knot PCHIP has a constant derivative, which would make
+		// the argmax the leftmost point). The empirical CDF's largest
+		// probability jump is the rise.
+		x, gap := stats.NewECDF(inttMicros).MaxGapBelow()
+		res.RiseMicros = x
+		res.MaxDeriv = gap
+		return res, true
+	}
+	var f interp.Interpolant
+	switch o.Interp {
+	case "spline":
+		f, err = interp.NaturalSpline(cx, cy)
+	case "linear":
+		f, err = interp.Linear(cx, cy)
+	default:
+		f, err = interp.PCHIP(cx, cy)
+	}
+	if err != nil {
+		return res, false
+	}
+	res.RiseMicros, res.MaxDeriv = interp.MaxDeriv(f, o.SamplesPerSegment)
+	return res, true
+}
+
+// NewCDFPoints builds empirical CDF step points from samples (µs),
+// thinned to at most 512 knots so interpolation cost stays bounded on
+// million-request groups while preserving the distribution shape.
+func NewCDFPoints(samples []float64) ([]float64, []float64) {
+	e := stats.NewECDF(samples)
+	xs, cs := e.Points()
+	const maxKnots = 512
+	if len(xs) <= maxKnots {
+		return xs, cs
+	}
+	step := float64(len(xs)-1) / float64(maxKnots-1)
+	tx := make([]float64, 0, maxKnots)
+	tc := make([]float64, 0, maxKnots)
+	for i := 0; i < maxKnots; i++ {
+		j := int(math.Round(float64(i) * step))
+		if j >= len(xs) {
+			j = len(xs) - 1
+		}
+		tx = append(tx, xs[j])
+		tc = append(tc, cs[j])
+	}
+	return tx, tc
+}
+
+// dedupePoints drops knots with non-increasing x (thinning can produce
+// duplicates at array ends).
+func dedupePoints(xs, ys []float64) ([]float64, []float64) {
+	if len(xs) == 0 {
+		return xs, ys
+	}
+	ox := xs[:1]
+	oy := ys[:1]
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > ox[len(ox)-1] {
+			ox = append(ox, xs[i])
+			oy = append(oy, ys[i])
+		}
+	}
+	return ox, oy
+}

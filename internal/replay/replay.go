@@ -1,0 +1,177 @@
+// Package replay executes I/O against simulated devices in virtual
+// time and collects the resulting block traces, playing the role that
+// fio + blktrace play in the paper's testbed.
+//
+// Two execution models are provided:
+//
+//   - App.Execute: an open application model with per-op think times
+//     and sync/async issue modes. This is how ground-truth traces are
+//     produced: the application behaviour (user idles, CPU bursts,
+//     async bursts) is known by construction, and running the same App
+//     against the OLD and NEW devices yields the paper's "OLD trace"
+//     and "NEW trace" pair.
+//
+//   - Emulate: the paper's hardware-emulation loop — visit each old
+//     instruction, sleep the inferred idle, issue synchronously to the
+//     target device, and collect the new trace underneath the block
+//     layer.
+//
+// All timing is virtual (see package clock's rationale): wall-clock
+// replay in Go would be distorted by GC pauses at exactly the
+// microsecond scale under study.
+package replay
+
+import (
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// AppOp is one application-level I/O operation.
+type AppOp struct {
+	// Device, LBA, Sectors, Op describe the block request to issue.
+	Device  uint32
+	LBA     uint64
+	Sectors uint32
+	Op      trace.Op
+	// Think is the user idle / CPU burst the application spends
+	// before issuing this op, measured from when the op becomes
+	// ready (previous completion for sync, previous issue for async).
+	Think time.Duration
+	// Sync: when true the application waits for this op to complete
+	// before preparing the next one; when false the next op only
+	// waits for the submission itself (channel occupancy).
+	Sync bool
+}
+
+// App is an application-level I/O behaviour: the ground truth the
+// paper's inference model tries to recover from block-level timing.
+type App struct {
+	Name string
+	Ops  []AppOp
+}
+
+// ExecResult is the outcome of running an App against a device.
+type ExecResult struct {
+	// Trace is the collected block trace: Arrival is the block-layer
+	// issue time, Latency the device service time, Async the ground
+	// truth issue mode.
+	Trace *trace.Trace
+	// Results holds the raw device service windows, index-aligned
+	// with Trace.Requests.
+	Results []device.Result
+	// Think holds the injected think time of each op (ground truth
+	// Tidle), index-aligned with Trace.Requests.
+	Think []time.Duration
+}
+
+// SubmissionGap models the host-side cost of putting one request on
+// the wire before control returns to the application in async mode:
+// the paper's Tcdel for the (i-1)th asynchronous request in Fig 2b.
+// It is charged by Execute between an async issue and the next op's
+// readiness.
+const SubmissionGap = 4 * time.Microsecond
+
+// Execute runs the application against dev starting at virtual time 0
+// and collects the block trace. dev is Reset first.
+func (a *App) Execute(dev device.Device) ExecResult {
+	dev.Reset()
+	res := ExecResult{
+		Trace: &trace.Trace{Name: a.Name, Workload: a.Name},
+	}
+	ready := time.Duration(0)
+	for _, op := range a.Ops {
+		issue := ready + op.Think
+		req := trace.Request{
+			Arrival: issue,
+			Device:  op.Device,
+			LBA:     op.LBA,
+			Sectors: op.Sectors,
+			Op:      op.Op,
+			Async:   !op.Sync,
+		}
+		r := dev.Submit(issue, req)
+		// Host-visible response time, issue to completion: this is
+		// what event-traced corpora (MSRC/MSPS) record, and it
+		// includes any device queue wait behind earlier async issues.
+		req.Latency = r.Complete - issue
+		res.Trace.Requests = append(res.Trace.Requests, req)
+		res.Results = append(res.Results, r)
+		res.Think = append(res.Think, op.Think)
+		if op.Sync {
+			ready = r.Complete
+		} else {
+			ready = issue + SubmissionGap
+		}
+	}
+	res.Trace.TsdevKnown = true
+	return res
+}
+
+// TotalThink sums the injected think times — the ground-truth total
+// idle period the verification metrics compare against.
+func (r ExecResult) TotalThink() time.Duration {
+	var sum time.Duration
+	for _, t := range r.Think {
+		sum += t
+	}
+	return sum
+}
+
+// Emulate is the paper's hardware-emulation loop: for each request of
+// old (in order), wait idle[i] after the previous completion, then
+// issue synchronously to dev; the collected trace is returned. idle
+// may be nil (all zeros — this is the Revision baseline's closed-loop
+// replay) or must have len(old.Requests) entries; idle[0] is applied
+// before the first request.
+//
+// The returned trace's Arrival stamps are the new issue times and
+// Latency the new device times, exactly what blktrace would capture
+// underneath the block layer on the target node.
+func Emulate(old *trace.Trace, dev device.Device, idle []time.Duration) *trace.Trace {
+	dev.Reset()
+	out := &trace.Trace{
+		Name:       old.Name,
+		Workload:   old.Workload,
+		Set:        old.Set,
+		TsdevKnown: true,
+	}
+	now := time.Duration(0)
+	for i, r := range old.Requests {
+		if idle != nil {
+			now += idle[i]
+		}
+		req := r
+		req.Arrival = now
+		res := dev.Submit(now, req)
+		req.Latency = res.Complete - now
+		req.Async = false // sync loop; post-processing restores mode
+		out.Requests = append(out.Requests, req)
+		now = res.Complete
+	}
+	return out
+}
+
+// Accelerate reproduces the Acceleration baseline: it divides every
+// inter-arrival time of old by factor, preserving order, sizes and
+// addresses. No device is involved; this is the purely static
+// transformation of [8] (factor 100 in the paper's evaluation).
+func Accelerate(old *trace.Trace, factor float64) *trace.Trace {
+	out := old.Clone()
+	if factor <= 0 || len(out.Requests) == 0 {
+		return out
+	}
+	base := out.Requests[0].Arrival
+	now := time.Duration(0)
+	prev := base
+	for i := range out.Requests {
+		gap := out.Requests[i].Arrival - prev
+		prev = out.Requests[i].Arrival
+		now += time.Duration(float64(gap) / factor)
+		out.Requests[i].Arrival = now
+		out.Requests[i].Latency = 0 // static method: no new device times
+	}
+	out.TsdevKnown = false
+	return out
+}

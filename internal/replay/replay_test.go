@@ -1,0 +1,197 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// fixedDevice services every request in a constant latency, making the
+// replay arithmetic easy to verify exactly.
+type fixedDevice struct {
+	lat  time.Duration
+	busy time.Duration
+}
+
+func (d *fixedDevice) Name() string { return "fixed" }
+func (d *fixedDevice) Reset()       { d.busy = 0 }
+func (d *fixedDevice) Submit(at time.Duration, r trace.Request) device.Result {
+	start := at
+	if d.busy > start {
+		start = d.busy
+	}
+	done := start + d.lat
+	d.busy = done
+	return device.Result{Start: start, Complete: done}
+}
+
+func appOf(ops ...AppOp) *App { return &App{Name: "test-app", Ops: ops} }
+
+func TestExecuteSyncTiming(t *testing.T) {
+	dev := &fixedDevice{lat: 100 * time.Microsecond}
+	app := appOf(
+		AppOp{LBA: 0, Sectors: 8, Op: trace.Read, Think: 50 * time.Microsecond, Sync: true},
+		AppOp{LBA: 8, Sectors: 8, Op: trace.Read, Think: 30 * time.Microsecond, Sync: true},
+	)
+	res := app.Execute(dev)
+	if len(res.Trace.Requests) != 2 {
+		t.Fatalf("len = %d", len(res.Trace.Requests))
+	}
+	// op0 issues at 50us, completes 150us; op1 at 150+30=180us.
+	if got := res.Trace.Requests[0].Arrival; got != 50*time.Microsecond {
+		t.Fatalf("arrival0 = %v", got)
+	}
+	if got := res.Trace.Requests[1].Arrival; got != 180*time.Microsecond {
+		t.Fatalf("arrival1 = %v", got)
+	}
+	if res.Trace.Requests[0].Latency != 100*time.Microsecond {
+		t.Fatalf("latency0 = %v", res.Trace.Requests[0].Latency)
+	}
+	if !res.Trace.TsdevKnown {
+		t.Fatal("executed trace must be TsdevKnown")
+	}
+}
+
+func TestExecuteAsyncDoesNotWait(t *testing.T) {
+	dev := &fixedDevice{lat: time.Millisecond}
+	app := appOf(
+		AppOp{LBA: 0, Sectors: 8, Op: trace.Write, Think: 0, Sync: false},
+		AppOp{LBA: 8, Sectors: 8, Op: trace.Write, Think: 0, Sync: true},
+	)
+	res := app.Execute(dev)
+	// op1 becomes ready at issue0 + SubmissionGap, not at completion.
+	if got := res.Trace.Requests[1].Arrival; got != SubmissionGap {
+		t.Fatalf("arrival1 = %v, want %v", got, SubmissionGap)
+	}
+	if !res.Trace.Requests[0].Async || res.Trace.Requests[1].Async {
+		t.Fatal("Async flags wrong")
+	}
+}
+
+func TestExecuteGroundTruthThink(t *testing.T) {
+	dev := &fixedDevice{lat: 10 * time.Microsecond}
+	app := appOf(
+		AppOp{LBA: 0, Sectors: 8, Think: 5 * time.Millisecond, Sync: true},
+		AppOp{LBA: 8, Sectors: 8, Think: 7 * time.Millisecond, Sync: true},
+	)
+	res := app.Execute(dev)
+	if res.TotalThink() != 12*time.Millisecond {
+		t.Fatalf("TotalThink = %v", res.TotalThink())
+	}
+	if len(res.Think) != 2 || res.Think[1] != 7*time.Millisecond {
+		t.Fatalf("Think = %v", res.Think)
+	}
+}
+
+func TestExecuteResetsDevice(t *testing.T) {
+	dev := &fixedDevice{lat: time.Microsecond, busy: time.Hour}
+	res := appOf(AppOp{LBA: 0, Sectors: 8, Sync: true}).Execute(dev)
+	if res.Results[0].Start != 0 {
+		t.Fatal("Execute must Reset the device first")
+	}
+}
+
+func TestEmulateZeroIdleIsClosedLoop(t *testing.T) {
+	dev := &fixedDevice{lat: 200 * time.Microsecond}
+	old := &trace.Trace{Requests: []trace.Request{
+		{Arrival: 0, LBA: 0, Sectors: 8, Op: trace.Read},
+		{Arrival: 10 * time.Second, LBA: 8, Sectors: 8, Op: trace.Read},
+		{Arrival: 20 * time.Second, LBA: 16, Sectors: 8, Op: trace.Read},
+	}}
+	got := Emulate(old, dev, nil)
+	// Closed loop: arrivals at 0, 200us, 400us — old gaps discarded.
+	want := []time.Duration{0, 200 * time.Microsecond, 400 * time.Microsecond}
+	for i, w := range want {
+		if got.Requests[i].Arrival != w {
+			t.Fatalf("arrival[%d] = %v, want %v", i, got.Requests[i].Arrival, w)
+		}
+	}
+}
+
+func TestEmulateInjectsIdle(t *testing.T) {
+	dev := &fixedDevice{lat: 100 * time.Microsecond}
+	old := &trace.Trace{Requests: []trace.Request{
+		{Arrival: 0, LBA: 0, Sectors: 8},
+		{Arrival: 1, LBA: 8, Sectors: 8},
+	}}
+	idle := []time.Duration{10 * time.Microsecond, 40 * time.Microsecond}
+	got := Emulate(old, dev, idle)
+	if got.Requests[0].Arrival != 10*time.Microsecond {
+		t.Fatalf("arrival0 = %v", got.Requests[0].Arrival)
+	}
+	// complete0 = 10+100 = 110us; arrival1 = 110+40 = 150us.
+	if got.Requests[1].Arrival != 150*time.Microsecond {
+		t.Fatalf("arrival1 = %v", got.Requests[1].Arrival)
+	}
+}
+
+func TestEmulatePreservesRequestIdentity(t *testing.T) {
+	dev := &fixedDevice{lat: time.Microsecond}
+	old := &trace.Trace{Name: "n", Workload: "w", Set: "s", Requests: []trace.Request{
+		{Arrival: 5, Device: 3, LBA: 42, Sectors: 16, Op: trace.Write},
+	}}
+	got := Emulate(old, dev, nil)
+	r := got.Requests[0]
+	if r.Device != 3 || r.LBA != 42 || r.Sectors != 16 || r.Op != trace.Write {
+		t.Fatalf("identity lost: %+v", r)
+	}
+	if got.Name != "n" || got.Workload != "w" || got.Set != "s" {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestAccelerateDividesGaps(t *testing.T) {
+	old := &trace.Trace{Requests: []trace.Request{
+		{Arrival: 0, LBA: 0, Sectors: 8},
+		{Arrival: 100 * time.Millisecond, LBA: 8, Sectors: 8},
+		{Arrival: 300 * time.Millisecond, LBA: 16, Sectors: 8},
+	}}
+	got := Accelerate(old, 100)
+	if got.Requests[1].Arrival != time.Millisecond {
+		t.Fatalf("arrival1 = %v", got.Requests[1].Arrival)
+	}
+	if got.Requests[2].Arrival != 3*time.Millisecond {
+		t.Fatalf("arrival2 = %v", got.Requests[2].Arrival)
+	}
+	// Original untouched.
+	if old.Requests[1].Arrival != 100*time.Millisecond {
+		t.Fatal("Accelerate mutated its input")
+	}
+}
+
+func TestAccelerateDegenerate(t *testing.T) {
+	old := &trace.Trace{Requests: []trace.Request{{Arrival: 7, LBA: 0, Sectors: 8}}}
+	if got := Accelerate(old, 0); got.Requests[0].Arrival != 7 {
+		t.Fatal("factor<=0 should be identity")
+	}
+	empty := Accelerate(&trace.Trace{}, 100)
+	if empty.Len() != 0 {
+		t.Fatal("empty trace should stay empty")
+	}
+}
+
+func TestEmulateAgainstRealDevices(t *testing.T) {
+	old := &trace.Trace{Requests: make([]trace.Request, 0, 200)}
+	lba := uint64(0)
+	for i := 0; i < 200; i++ {
+		old.Requests = append(old.Requests, trace.Request{
+			Arrival: time.Duration(i) * time.Millisecond,
+			LBA:     lba, Sectors: 8, Op: trace.Op(i % 2),
+		})
+		lba += 8979
+	}
+	for _, dev := range []device.Device{
+		device.NewHDD(device.DefaultHDDConfig()),
+		device.NewArray(device.DefaultArrayConfig()),
+	} {
+		got := Emulate(old, dev, nil)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: emulated trace invalid: %v", dev.Name(), err)
+		}
+		if got.Len() != old.Len() {
+			t.Fatalf("%s: lost requests", dev.Name())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package replay
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// WallClock replays a trace in real time against a simulated device:
+// the paper's sleep()-based emulation loop, provided for completeness
+// and for driving real block devices behind a Device adapter. The
+// virtual-time Emulate is what the experiments use — Go's garbage
+// collector and scheduler jitter wall-clock sleeps at exactly the
+// microsecond scale under study (see DESIGN.md), and this
+// implementation quantifies that: the returned drift reports how far
+// each issue strayed from its intended instant.
+type WallClock struct {
+	// Resolution is the shortest sleep worth issuing; waits below it
+	// spin on the clock instead (default 500µs, the scheduler's
+	// practical timer floor).
+	Resolution time.Duration
+}
+
+// WallClockResult carries the collected trace and the per-request
+// issue drift (actual − intended, always >= 0 up to clock skew).
+type WallClockResult struct {
+	Trace *trace.Trace
+	Drift []time.Duration
+}
+
+// MaxDrift returns the worst issue drift.
+func (r WallClockResult) MaxDrift() time.Duration {
+	var m time.Duration
+	for _, d := range r.Drift {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Run replays old with the given per-request idle schedule (nil =
+// closed loop), sleeping real time between issues. ctx cancels the
+// replay early; the partial result is returned with ctx.Err().
+func (wc *WallClock) Run(ctx context.Context, old *trace.Trace, dev device.Device, idle []time.Duration) (WallClockResult, error) {
+	res := WallClockResult{Trace: &trace.Trace{
+		Name:       old.Name,
+		Workload:   old.Workload,
+		Set:        old.Set,
+		TsdevKnown: true,
+	}}
+	resolution := wc.Resolution
+	if resolution == 0 {
+		resolution = 500 * time.Microsecond
+	}
+	dev.Reset()
+	start := time.Now()
+	// next is the intended issue instant relative to start.
+	var next time.Duration
+	for i, r := range old.Requests {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if idle != nil {
+			next += idle[i]
+		}
+		// Sleep toward the intended instant; spin the tail below the
+		// timer resolution.
+		for {
+			now := time.Since(start)
+			remain := next - now
+			if remain <= 0 {
+				break
+			}
+			if remain > resolution {
+				time.Sleep(remain - resolution)
+			}
+		}
+		actual := time.Since(start)
+		res.Drift = append(res.Drift, actual-next)
+
+		req := r
+		req.Arrival = actual
+		out := dev.Submit(actual, req)
+		req.Latency = out.Complete - actual
+		res.Trace.Requests = append(res.Trace.Requests, req)
+		// Synchronous loop: the next instruction cannot be prepared
+		// before this one completes.
+		next = out.Complete
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+// Package report renders experiment results as aligned ASCII tables
+// and compact CDF series, the textual equivalents of the paper's
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatDuration renders a duration with the µs/ms/s unit the paper's
+// axes use, three significant digits.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "-" + FormatDuration(-d)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3gus", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.3gms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	}
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// CDFSeries compactly summarizes a sample as values at fixed CDF
+// levels — the textual form of the paper's CDF plots.
+type CDFSeries struct {
+	Name   string
+	Levels []float64 // e.g. 0.1, 0.2, ... 0.9, 0.99
+	Values []float64 // sample value at each level
+}
+
+// DefaultLevels are the CDF levels every experiment reports.
+var DefaultLevels = []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+
+// NewCDFSeries computes the series for a sample at DefaultLevels.
+func NewCDFSeries(name string, sample []float64) CDFSeries {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	cs := CDFSeries{Name: name, Levels: DefaultLevels}
+	for _, q := range cs.Levels {
+		if len(s) == 0 {
+			cs.Values = append(cs.Values, 0)
+			continue
+		}
+		idx := int(q * float64(len(s)-1))
+		cs.Values = append(cs.Values, s[idx])
+	}
+	return cs
+}
+
+// RenderCDFs prints multiple series side by side, one row per level.
+// Values are treated as microseconds.
+func RenderCDFs(w io.Writer, title string, series ...CDFSeries) {
+	t := &Table{Title: title, Headers: []string{"CDF"}}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for li, q := range DefaultLevels {
+		cells := []any{fmt.Sprintf("p%02.0f", q*100)}
+		for _, s := range series {
+			v := time.Duration(s.Values[li] * float64(time.Microsecond))
+			cells = append(cells, FormatDuration(v))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "bee"}}
+	tbl.AddRow("x", 1)
+	tbl.AddRow("longer", 2.5)
+	tbl.AddRow("dur", 1500*time.Microsecond)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer") || !strings.Contains(out, "2.500") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5ms") {
+		t.Fatalf("duration not formatted:\n%s", out)
+	}
+	// Header separator row present.
+	if !strings.Contains(out, "---") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "0.5us"},
+		{42 * time.Microsecond, "42us"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{2 * time.Second, "2s"},
+		{-3 * time.Millisecond, "-3ms"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.123) != "12.3%" {
+		t.Fatalf("Percent = %q", Percent(0.123))
+	}
+}
+
+func TestNewCDFSeries(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i)
+	}
+	s := NewCDFSeries("x", sample)
+	if len(s.Values) != len(DefaultLevels) {
+		t.Fatal("level count mismatch")
+	}
+	// Median of 0..99 ~ 49.
+	for i, q := range s.Levels {
+		if q == 0.50 && (s.Values[i] < 45 || s.Values[i] > 55) {
+			t.Fatalf("median = %v", s.Values[i])
+		}
+	}
+	// Monotone in level.
+	for i := 1; i < len(s.Values); i++ {
+		if s.Values[i] < s.Values[i-1] {
+			t.Fatal("series not monotone")
+		}
+	}
+	empty := NewCDFSeries("e", nil)
+	for _, v := range empty.Values {
+		if v != 0 {
+			t.Fatal("empty series should be zeros")
+		}
+	}
+}
+
+func TestRenderCDFs(t *testing.T) {
+	a := NewCDFSeries("alpha", []float64{1, 2, 3})
+	b := NewCDFSeries("beta", []float64{10, 20, 30})
+	var buf bytes.Buffer
+	RenderCDFs(&buf, "cdfs", a, b)
+	out := buf.String()
+	for _, want := range []string{"alpha", "beta", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The blktrace text format (the output of `blkparse`) is what the
+// paper's hardware emulation collects on the target node. This file
+// writes and reads the two event classes the reconstruction pipeline
+// consumes: D (issue to driver) and C (completion). Each line follows
+// blkparse's default layout:
+//
+//	major,minor cpu seq timestamp pid action rwbs sector + count [info]
+//
+// e.g.
+//
+//	8,0    0        1     0.000000000  1234  D   R 383496192 + 64 [fio]
+//	8,0    0        2     0.000150000  1234  C   R 383496192 + 64 [0]
+//
+// Timestamps are seconds with nanosecond fraction, matching blkparse.
+
+// WriteBlktrace renders t as D/C event pairs. Requests without a
+// recorded Latency emit only the D event, exactly like a capture that
+// missed completions.
+func WriteBlktrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	seq := 0
+	for _, r := range t.Requests {
+		seq++
+		rwbs := "R"
+		if r.Op == Write {
+			rwbs = "W"
+		}
+		fmt.Fprintf(bw, "8,%d    0 %8d %14.9f  0  D   %s %d + %d [%s]\n",
+			r.Device, seq, r.Arrival.Seconds(), rwbs, r.LBA, r.Sectors, t.Name)
+		if r.Latency > 0 {
+			seq++
+			fmt.Fprintf(bw, "8,%d    0 %8d %14.9f  0  C   %s %d + %d [0]\n",
+				r.Device, seq, (r.Arrival + r.Latency).Seconds(), rwbs, r.LBA, r.Sectors)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBlktrace parses D/C event lines back into a trace: each D event
+// opens a request, and a later C event with the same (device, LBA,
+// sectors, op) closes it, filling Latency. Unmatched completions are
+// ignored; unmatched issues stay with zero Latency. Lines that are
+// not D or C events (blkparse emits Q/G/I/M and summary lines too)
+// are skipped.
+func ReadBlktrace(r io.Reader) (*Trace, error) {
+	type key struct {
+		dev     uint32
+		lba     uint64
+		sectors uint32
+		op      Op
+	}
+	t := &Trace{}
+	open := make(map[key][]int) // FIFO of open request indices
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		fields := strings.Fields(sc.Text())
+		// minimal D/C line: dev cpu seq ts pid action rwbs sector + count
+		if len(fields) < 10 {
+			continue
+		}
+		action := fields[5]
+		if action != "D" && action != "C" {
+			continue
+		}
+		devParts := strings.SplitN(fields[0], ",", 2)
+		if len(devParts) != 2 {
+			continue
+		}
+		minor, err := strconv.ParseUint(devParts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blktrace line %d: device: %w", lineno, err)
+		}
+		ts, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blktrace line %d: timestamp: %w", lineno, err)
+		}
+		op, err := ParseOp(strings.TrimLeft(fields[6], "FSMD")) // rwbs may carry flag prefixes
+		if err != nil {
+			continue // discard discard/flush records
+		}
+		lba, err := strconv.ParseUint(fields[7], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blktrace line %d: sector: %w", lineno, err)
+		}
+		if fields[8] != "+" {
+			continue
+		}
+		sectors, err := strconv.ParseUint(fields[9], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blktrace line %d: count: %w", lineno, err)
+		}
+		k := key{uint32(minor), lba, uint32(sectors), op}
+		at := time.Duration(ts * float64(time.Second))
+		if action == "D" {
+			t.Requests = append(t.Requests, Request{
+				Arrival: at,
+				Device:  k.dev,
+				LBA:     k.lba,
+				Sectors: k.sectors,
+				Op:      k.op,
+			})
+			open[k] = append(open[k], len(t.Requests)-1)
+		} else {
+			q := open[k]
+			if len(q) == 0 {
+				continue // completion without issue
+			}
+			idx := q[0]
+			open[k] = q[1:]
+			if lat := at - t.Requests[idx].Arrival; lat > 0 {
+				t.Requests[idx].Latency = lat
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.Sort()
+	for _, r := range t.Requests {
+		if r.Latency > 0 {
+			t.TsdevKnown = true
+			break
+		}
+	}
+	return t, nil
+}

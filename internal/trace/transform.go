@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Merge combines several traces into one timeline, interleaving by
+// arrival time (stable across inputs). Metadata comes from the first
+// trace; use it to reassemble multi-volume MSRC captures or to fuse
+// per-disk FIU logs into a node-level trace.
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	if len(traces) == 0 {
+		return out
+	}
+	out.Name = traces[0].Name
+	out.Workload = traces[0].Workload
+	out.Set = traces[0].Set
+	out.TsdevKnown = traces[0].TsdevKnown
+	total := 0
+	for _, t := range traces {
+		total += len(t.Requests)
+		out.TsdevKnown = out.TsdevKnown && t.TsdevKnown
+	}
+	out.Requests = make([]Request, 0, total)
+	for _, t := range traces {
+		out.Requests = append(out.Requests, t.Requests...)
+	}
+	out.Sort()
+	return out
+}
+
+// SplitByDevice partitions a trace into per-device traces, preserving
+// order. Keys are the observed device IDs.
+func SplitByDevice(t *Trace) map[uint32]*Trace {
+	out := make(map[uint32]*Trace)
+	for _, r := range t.Requests {
+		sub := out[r.Device]
+		if sub == nil {
+			sub = &Trace{
+				Name:       fmt.Sprintf("%s.dev%d", t.Name, r.Device),
+				Workload:   t.Workload,
+				Set:        t.Set,
+				TsdevKnown: t.TsdevKnown,
+			}
+			out[r.Device] = sub
+		}
+		sub.Requests = append(sub.Requests, r)
+	}
+	return out
+}
+
+// Window extracts the requests with Arrival in [from, to), rebased so
+// the window starts at zero. Use it to cut the day/night segments the
+// MSRC studies analyze separately.
+func Window(t *Trace, from, to time.Duration) *Trace {
+	out := &Trace{
+		Name:       fmt.Sprintf("%s[%v,%v)", t.Name, from, to),
+		Workload:   t.Workload,
+		Set:        t.Set,
+		TsdevKnown: t.TsdevKnown,
+	}
+	// Requests are sorted by arrival: binary-search the bounds.
+	lo := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Arrival >= from })
+	hi := sort.Search(len(t.Requests), func(i int) bool { return t.Requests[i].Arrival >= to })
+	out.Requests = make([]Request, hi-lo)
+	copy(out.Requests, t.Requests[lo:hi])
+	for i := range out.Requests {
+		out.Requests[i].Arrival -= from
+	}
+	return out
+}
+
+// RemapLBA shifts and wraps every LBA into [0, capacitySectors),
+// preserving request sizes. Reconstruction targets smaller than the
+// traced volume need this before replay; the modulo keeps the access
+// pattern's locality structure.
+func RemapLBA(t *Trace, capacitySectors uint64) *Trace {
+	out := t.Clone()
+	if capacitySectors == 0 {
+		return out
+	}
+	for i := range out.Requests {
+		r := &out.Requests[i]
+		if uint64(r.Sectors) >= capacitySectors {
+			r.LBA = 0
+			continue
+		}
+		r.LBA %= capacitySectors
+		if r.End() > capacitySectors {
+			r.LBA = capacitySectors - uint64(r.Sectors)
+		}
+	}
+	return out
+}
+
+// ScaleTime multiplies every arrival (and recorded latency) by factor.
+// factor > 1 slows the trace down, factor < 1 is the paper's
+// Acceleration transformation applied uniformly to absolute time.
+func ScaleTime(t *Trace, factor float64) *Trace {
+	out := t.Clone()
+	if factor <= 0 {
+		return out
+	}
+	for i := range out.Requests {
+		r := &out.Requests[i]
+		r.Arrival = time.Duration(float64(r.Arrival) * factor)
+		r.Latency = time.Duration(float64(r.Latency) * factor)
+	}
+	return out
+}
+
+// Concat appends b's timeline after a's (b rebased to start gap after
+// a's last arrival). Useful for composing long-running scenarios from
+// the per-day traces the corpora ship.
+func Concat(a, b *Trace, gap time.Duration) *Trace {
+	out := a.Clone()
+	var base time.Duration
+	if len(out.Requests) > 0 {
+		base = out.Requests[len(out.Requests)-1].Arrival + gap
+	}
+	var b0 time.Duration
+	if len(b.Requests) > 0 {
+		b0 = b.Requests[0].Arrival
+	}
+	for _, r := range b.Requests {
+		r.Arrival = base + (r.Arrival - b0)
+		out.Requests = append(out.Requests, r)
+	}
+	out.TsdevKnown = a.TsdevKnown && b.TsdevKnown
+	return out
+}

@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func us(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func TestMergeInterleaves(t *testing.T) {
+	a := &Trace{Name: "a", TsdevKnown: true, Requests: []Request{
+		{Arrival: us(0), Device: 0, LBA: 1, Sectors: 8},
+		{Arrival: us(200), Device: 0, LBA: 2, Sectors: 8},
+	}}
+	b := &Trace{Name: "b", TsdevKnown: true, Requests: []Request{
+		{Arrival: us(100), Device: 1, LBA: 3, Sectors: 8},
+	}}
+	m := Merge(a, b)
+	if m.Len() != 3 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if m.Requests[1].Device != 1 {
+		t.Fatalf("interleave wrong: %+v", m.Requests)
+	}
+	if m.Name != "a" || !m.TsdevKnown {
+		t.Fatalf("metadata wrong: %+v", m)
+	}
+	// TsdevKnown is the conjunction.
+	b.TsdevKnown = false
+	if Merge(a, b).TsdevKnown {
+		t.Fatal("merge of unknown should be unknown")
+	}
+	if Merge().Len() != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+}
+
+func TestSplitByDevice(t *testing.T) {
+	tr := &Trace{Name: "n", Requests: []Request{
+		{Arrival: us(0), Device: 0, LBA: 1, Sectors: 8},
+		{Arrival: us(1), Device: 2, LBA: 2, Sectors: 8},
+		{Arrival: us(2), Device: 0, LBA: 3, Sectors: 8},
+	}}
+	parts := SplitByDevice(tr)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0].Len() != 2 || parts[2].Len() != 1 {
+		t.Fatalf("split sizes wrong")
+	}
+	if parts[0].Name != "n.dev0" {
+		t.Fatalf("name = %q", parts[0].Name)
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "x", Requests: []Request{
+		{Arrival: us(0), Device: 1, LBA: 1, Sectors: 8},
+		{Arrival: us(5), Device: 0, LBA: 2, Sectors: 8},
+		{Arrival: us(9), Device: 1, LBA: 3, Sectors: 8},
+	}}
+	parts := SplitByDevice(tr)
+	var list []*Trace
+	for _, p := range parts {
+		list = append(list, p)
+	}
+	m := Merge(list...)
+	if m.Len() != tr.Len() {
+		t.Fatal("requests lost")
+	}
+	for i := range m.Requests {
+		if m.Requests[i].Arrival != tr.Requests[i].Arrival {
+			t.Fatal("order lost")
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := &Trace{Name: "w", Requests: []Request{
+		{Arrival: us(0), LBA: 1, Sectors: 8},
+		{Arrival: us(100), LBA: 2, Sectors: 8},
+		{Arrival: us(200), LBA: 3, Sectors: 8},
+		{Arrival: us(300), LBA: 4, Sectors: 8},
+	}}
+	w := Window(tr, us(100), us(300))
+	if w.Len() != 2 {
+		t.Fatalf("window len = %d", w.Len())
+	}
+	if w.Requests[0].Arrival != 0 || w.Requests[1].Arrival != us(100) {
+		t.Fatalf("rebase wrong: %+v", w.Requests)
+	}
+	if w.Requests[0].LBA != 2 {
+		t.Fatal("wrong requests selected")
+	}
+	if Window(tr, us(500), us(600)).Len() != 0 {
+		t.Fatal("out-of-range window should be empty")
+	}
+}
+
+func TestRemapLBA(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Arrival: 0, LBA: 1000, Sectors: 8},
+		{Arrival: 1, LBA: 1096, Sectors: 8},  // wraps to 72..80
+		{Arrival: 2, LBA: 1020, Sectors: 16}, // end would exceed: clamped
+	}}
+	m := RemapLBA(tr, 1024)
+	if m.Requests[0].LBA != 1000 {
+		t.Fatalf("r0 remapped to %d", m.Requests[0].LBA)
+	}
+	if m.Requests[1].LBA != 72 {
+		t.Fatalf("r1 remapped to %d", m.Requests[1].LBA)
+	}
+	if m.Requests[2].End() > 1024 {
+		t.Fatalf("r2 exceeds capacity: %+v", m.Requests[2])
+	}
+	// Oversized request falls back to zero.
+	big := RemapLBA(&Trace{Requests: []Request{{LBA: 5, Sectors: 4096}}}, 1024)
+	if big.Requests[0].LBA != 0 {
+		t.Fatal("oversized request should map to 0")
+	}
+	// Zero capacity is identity.
+	if RemapLBA(tr, 0).Requests[1].LBA != 1096 {
+		t.Fatal("zero capacity should be identity")
+	}
+	// Original untouched.
+	if tr.Requests[1].LBA != 1096 {
+		t.Fatal("RemapLBA mutated input")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Arrival: us(100), LBA: 1, Sectors: 8, Latency: us(10)},
+	}}
+	s := ScaleTime(tr, 0.5)
+	if s.Requests[0].Arrival != us(50) || s.Requests[0].Latency != us(5) {
+		t.Fatalf("scaled: %+v", s.Requests[0])
+	}
+	if ScaleTime(tr, -1).Requests[0].Arrival != us(100) {
+		t.Fatal("non-positive factor should be identity")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &Trace{TsdevKnown: true, Requests: []Request{
+		{Arrival: us(0), LBA: 1, Sectors: 8},
+		{Arrival: us(100), LBA: 2, Sectors: 8},
+	}}
+	b := &Trace{TsdevKnown: true, Requests: []Request{
+		{Arrival: us(50), LBA: 3, Sectors: 8},
+		{Arrival: us(70), LBA: 4, Sectors: 8},
+	}}
+	c := Concat(a, b, us(10))
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// b starts at 100+10 = 110, rebased from 50.
+	if c.Requests[2].Arrival != us(110) || c.Requests[3].Arrival != us(130) {
+		t.Fatalf("concat arrivals: %+v", c.Requests[2:])
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Concat onto empty rebases b to zero (no predecessor, no gap).
+	e := Concat(&Trace{}, b, us(10))
+	if e.Requests[0].Arrival != 0 {
+		t.Fatalf("empty concat arrival: %v", e.Requests[0].Arrival)
+	}
+}
+
+func TestBlktraceRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "bt", Requests: []Request{
+		{Arrival: 0, Device: 0, LBA: 1000, Sectors: 8, Op: Read, Latency: us(150)},
+		{Arrival: us(500), Device: 1, LBA: 2000, Sectors: 64, Op: Write, Latency: us(900)},
+		{Arrival: us(800), Device: 0, LBA: 3000, Sectors: 8, Op: Read}, // no completion
+	}}
+	var buf bytes.Buffer
+	if err := WriteBlktrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlktrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if !got.TsdevKnown {
+		t.Fatal("completions present: TsdevKnown expected")
+	}
+	for i := range orig.Requests {
+		o, g := orig.Requests[i], got.Requests[i]
+		if g.Device != o.Device || g.LBA != o.LBA || g.Sectors != o.Sectors || g.Op != o.Op {
+			t.Fatalf("request %d identity lost: %+v vs %+v", i, g, o)
+		}
+		// Timestamps survive at nanosecond resolution.
+		if d := g.Arrival - o.Arrival; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("request %d arrival drift %v", i, d)
+		}
+		if d := g.Latency - o.Latency; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("request %d latency drift %v (%v vs %v)", i, d, g.Latency, o.Latency)
+		}
+	}
+}
+
+func TestBlktraceSkipsNoise(t *testing.T) {
+	in := strings.Join([]string{
+		"8,0    0        1     0.000000000  0  Q   R 100 + 8 [app]", // queue event: skipped
+		"8,0    0        2     0.000000000  0  D   R 100 + 8 [app]",
+		"CPU0 (app):",             // summary line: skipped
+		" Reads Queued:  1, 4KiB", // summary line: skipped
+		"8,0    0        3     0.000100000  0  C   R 100 + 8 [0]",
+		"8,0    0        4     0.000200000  0  C   R 999 + 8 [0]", // orphan completion
+	}, "\n")
+	got, err := ReadBlktrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("len = %d, want 1", got.Len())
+	}
+	if got.Requests[0].Latency != 100*time.Microsecond {
+		t.Fatalf("latency = %v", got.Requests[0].Latency)
+	}
+}
+
+func TestBlktraceFIFOMatching(t *testing.T) {
+	// Two identical outstanding requests: completions must match in
+	// FIFO order.
+	in := strings.Join([]string{
+		"8,0    0 1 0.000000000  0  D   W 100 + 8 [x]",
+		"8,0    0 2 0.001000000  0  D   W 100 + 8 [x]",
+		"8,0    0 3 0.002000000  0  C   W 100 + 8 [0]",
+		"8,0    0 4 0.005000000  0  C   W 100 + 8 [0]",
+	}, "\n")
+	got, err := ReadBlktrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests[0].Latency != 2*time.Millisecond {
+		t.Fatalf("first latency = %v", got.Requests[0].Latency)
+	}
+	if got.Requests[1].Latency != 4*time.Millisecond {
+		t.Fatalf("second latency = %v", got.Requests[1].Latency)
+	}
+}
+
+// Property: Window(0, end+1) then rebasing is the identity, and
+// Merge(SplitByDevice(t)) preserves every request, for random traces.
+func TestTransformProperties(t *testing.T) {
+	rng := func(seed int64) *Trace {
+		tr := &Trace{Name: "prop"}
+		arr := time.Duration(0)
+		s := seed
+		next := func(mod int64) int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := s >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v % mod
+		}
+		n := int(next(200)) + 2
+		for i := 0; i < n; i++ {
+			arr += time.Duration(next(1e9))
+			tr.Requests = append(tr.Requests, Request{
+				Arrival: arr,
+				Device:  uint32(next(3)),
+				LBA:     uint64(next(1 << 30)),
+				Sectors: uint32(next(256)) + 1,
+				Op:      Op(next(2)),
+			})
+		}
+		return tr
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		tr := rng(seed)
+		// Full-range window preserves count and relative gaps.
+		w := Window(tr, 0, tr.Requests[len(tr.Requests)-1].Arrival+1)
+		if w.Len() != tr.Len() {
+			t.Fatalf("seed %d: window lost requests", seed)
+		}
+		for i := 1; i < tr.Len(); i++ {
+			wantGap := tr.Requests[i].Arrival - tr.Requests[i-1].Arrival
+			gotGap := w.Requests[i].Arrival - w.Requests[i-1].Arrival
+			if wantGap != gotGap {
+				t.Fatalf("seed %d: window changed gap %d", seed, i)
+			}
+		}
+		// Split+merge preserves the multiset of requests and order.
+		parts := SplitByDevice(tr)
+		var list []*Trace
+		for _, p := range parts {
+			list = append(list, p)
+		}
+		m := Merge(list...)
+		if m.Len() != tr.Len() {
+			t.Fatalf("seed %d: split+merge lost requests", seed)
+		}
+		for i := range m.Requests {
+			if m.Requests[i].Arrival != tr.Requests[i].Arrival {
+				t.Fatalf("seed %d: split+merge reordered", seed)
+			}
+		}
+		// RemapLBA keeps every request within capacity.
+		const cap = 1 << 20
+		r := RemapLBA(tr, cap)
+		for i, req := range r.Requests {
+			if req.End() > cap && uint64(req.Sectors) < cap {
+				t.Fatalf("seed %d: request %d beyond capacity", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func flatTrace(n int, gap time.Duration) *trace.Trace {
+	t := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		t.Requests = append(t.Requests, trace.Request{
+			Arrival: time.Duration(i) * gap,
+			LBA:     uint64(i * 8),
+			Sectors: 8,
+		})
+	}
+	return t
+}
+
+func TestInjectShiftsArrivals(t *testing.T) {
+	tr := flatTrace(1000, 100*time.Microsecond)
+	spec := InjectionSpec{Period: 10 * time.Millisecond, Frac: 0.1, Seed: 1}
+	injected, truth := Inject(tr, spec)
+	count := 0
+	var total time.Duration
+	for _, d := range truth {
+		if d > 0 {
+			count++
+			total += d
+			if d != spec.Period {
+				t.Fatalf("injected period %v, want %v", d, spec.Period)
+			}
+		}
+	}
+	// ~10% of 1000.
+	if count < 60 || count > 140 {
+		t.Fatalf("injection count %d outside 10%% envelope", count)
+	}
+	// Final arrival shifted by the total injected idle.
+	wantLast := tr.Requests[999].Arrival + total
+	if injected.Requests[999].Arrival != wantLast {
+		t.Fatalf("last arrival %v, want %v", injected.Requests[999].Arrival, wantLast)
+	}
+	if truth[0] != 0 {
+		t.Fatal("instruction 0 must never receive an injection")
+	}
+	// Original untouched.
+	if tr.Requests[999].Arrival != 999*100*time.Microsecond {
+		t.Fatal("Inject mutated its input")
+	}
+	// Inter-arrival at injected points grows by exactly the period.
+	for i := 1; i < 1000; i++ {
+		oldIA := tr.Requests[i].Arrival - tr.Requests[i-1].Arrival
+		newIA := injected.Requests[i].Arrival - injected.Requests[i-1].Arrival
+		if truth[i] > 0 && newIA != oldIA+spec.Period {
+			t.Fatalf("instruction %d: inter-arrival %v, want %v", i, newIA, oldIA+spec.Period)
+		}
+		if truth[i] == 0 && newIA != oldIA {
+			t.Fatalf("instruction %d: inter-arrival changed without injection", i)
+		}
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	tr := flatTrace(500, time.Millisecond)
+	spec := InjectionSpec{Period: time.Millisecond, Frac: 0.1, Seed: 7}
+	_, t1 := Inject(tr, spec)
+	_, t2 := Inject(tr, spec)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("injection not deterministic")
+		}
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	ms := time.Millisecond
+	truth := []time.Duration{0, ms, 0, ms, 0, 0}
+	est := []time.Duration{0, ms, ms / 2, 0, 0, 0}
+	m := Evaluate(truth, est)
+	// Index 0 skipped. 1: TP; 2: FP; 3: FN; 4,5: TN.
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 || m.TN != 2 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if m.Injected != 2 || m.Total != 5 {
+		t.Fatalf("aggregates: %+v", m)
+	}
+	if m.DetectionTP() != 0.5 {
+		t.Fatalf("DetectionTP = %v", m.DetectionTP())
+	}
+	if m.DetectionFP() != 0.2 {
+		t.Fatalf("DetectionFP = %v", m.DetectionFP())
+	}
+	if m.LenTPRatio != 1.0 {
+		t.Fatalf("LenTPRatio = %v", m.LenTPRatio)
+	}
+	if len(m.LenFP) != 1 || m.LenFP[0] != 500 {
+		t.Fatalf("LenFP = %v (µs)", m.LenFP)
+	}
+	if m.LenFPMean() != ms/2 {
+		t.Fatalf("LenFPMean = %v", m.LenFPMean())
+	}
+}
+
+func TestEvaluatePartialLenRatio(t *testing.T) {
+	ms := time.Millisecond
+	truth := []time.Duration{0, 10 * ms, 10 * ms}
+	est := []time.Duration{0, 9 * ms, 11 * ms}
+	m := Evaluate(truth, est)
+	if m.TP != 2 {
+		t.Fatalf("TP = %d", m.TP)
+	}
+	if m.LenTPRatio != 1.0 { // (0.9 + 1.1)/2
+		t.Fatalf("LenTPRatio = %v", m.LenTPRatio)
+	}
+}
+
+func TestEvaluateEmptyAndMismatched(t *testing.T) {
+	m := Evaluate(nil, nil)
+	if m.Total != 0 || m.DetectionTP() != 0 || m.DetectionFP() != 0 || m.LenFPMean() != 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+	// Mismatched lengths: scored over the shorter.
+	m = Evaluate([]time.Duration{0, time.Millisecond, time.Millisecond}, []time.Duration{0, time.Millisecond})
+	if m.Total != 1 || m.TP != 1 {
+		t.Fatalf("mismatched: %+v", m)
+	}
+}
+
+func TestLenTPSecured(t *testing.T) {
+	ms := time.Millisecond
+	truth := []time.Duration{0, 10 * ms, 10 * ms, 10 * ms, 0}
+	est := []time.Duration{0, 5 * ms, 20 * ms, 0, 0}
+	m := Evaluate(truth, est)
+	// Secured: min(5,10) + min(20,10) + 0 = 15ms of 30ms injected.
+	if m.InjectedSum != 30*ms || m.SecuredSum != 15*ms {
+		t.Fatalf("sums: injected %v secured %v", m.InjectedSum, m.SecuredSum)
+	}
+	if got := m.LenTPSecured(); got != 0.5 {
+		t.Fatalf("LenTPSecured = %v", got)
+	}
+	if Evaluate(nil, nil).LenTPSecured() != 0 {
+		t.Fatal("empty secured should be 0")
+	}
+}

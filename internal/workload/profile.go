@@ -1,0 +1,192 @@
+// Package workload synthesizes application-level I/O behaviours for
+// the 31 public workload families of the paper's Table I (FIU SRCMap,
+// FIU IODedup, Microsoft Production Server, MSR Cambridge).
+//
+// The real corpora cannot be redistributed with this repository, so
+// each family is modeled as a seeded generator whose profile is
+// calibrated to the published characteristics: Table I's request-size
+// averages and trace counts, Fig 16's per-family average idle periods,
+// and Fig 17's idle frequency/period breakdowns. Because generation
+// happens at the application level (think times and issue modes are
+// explicit), every synthetic trace carries ground truth that the real
+// traces never had — which is exactly what the verification experiments
+// (Figs 10/11) need.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one workload family's statistical shape.
+type Profile struct {
+	// Name is the family name as the paper spells it.
+	Name string
+	// Set is the corpus: "FIU", "MSPS" or "MSRC".
+	Set string
+	// NumTraces is the family's trace count from Table I.
+	NumTraces int
+	// AvgKB is Table I's average request size.
+	AvgKB float64
+	// TotalGB is Table I's total transferred volume.
+	TotalGB float64
+
+	// ReadFrac is the fraction of read requests.
+	ReadFrac float64
+	// SeqFrac is the probability a request continues the current
+	// sequential run.
+	SeqFrac float64
+	// AsyncFrac is the probability a request is issued asynchronously
+	// (no wait for completion).
+	AsyncFrac float64
+
+	// IdleFreq is the fraction of requests preceded by a think time
+	// (user idle / system delay); the remainder issue back-to-back.
+	IdleFreq float64
+	// IdleShortFrac / IdleMidFrac / IdleLongFrac partition idles into
+	// the paper's Fig 17 buckets: 0–10 ms, 10–100 ms, >100 ms. They
+	// must sum to 1.
+	IdleShortFrac, IdleMidFrac, IdleLongFrac float64
+	// LongIdleMean is the mean of the >100 ms idle component, the
+	// knob that calibrates the family's Fig 16 average idle.
+	LongIdleMean time.Duration
+
+	// WorkingSetGB bounds the LBA space touched.
+	WorkingSetGB float64
+	// TsdevKnown marks corpora whose collection recorded completion
+	// timestamps (MSPS, MSRC event tracing) versus those that did not
+	// (FIU).
+	TsdevKnown bool
+}
+
+// Validate checks internal consistency.
+func (p Profile) Validate() error {
+	sum := p.IdleShortFrac + p.IdleMidFrac + p.IdleLongFrac
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload %s: idle fractions sum to %v", p.Name, sum)
+	}
+	// Table I's smallest average is topgun's 3.87 KB (sub-page
+	// requests exist in the FIU corpus).
+	if p.AvgKB < 3 {
+		return fmt.Errorf("workload %s: implausible average request size", p.Name)
+	}
+	if p.ReadFrac < 0 || p.ReadFrac > 1 || p.SeqFrac < 0 || p.SeqFrac > 1 {
+		return fmt.Errorf("workload %s: fraction out of range", p.Name)
+	}
+	return nil
+}
+
+// msps builds an MSPS-family profile: idle-frequent (Fig 17 top: ~70%
+// of requests see idles) but idle-short (Fig 16: 0.27 s average),
+// completion-timestamped.
+func msps(name string, traces int, avgKB, totalGB, readFrac, seqFrac float64, longMean time.Duration) Profile {
+	return Profile{
+		Name: name, Set: "MSPS", NumTraces: traces, AvgKB: avgKB, TotalGB: totalGB,
+		ReadFrac: readFrac, SeqFrac: seqFrac, AsyncFrac: 0.15,
+		IdleFreq:      0.70,
+		IdleShortFrac: 0.68, IdleMidFrac: 0.22, IdleLongFrac: 0.10,
+		LongIdleMean: longMean,
+		WorkingSetGB: 32, TsdevKnown: true,
+	}
+}
+
+// fiu builds an FIU-family profile: idle-rare (~31% of requests) but
+// idle-long (Fig 16: seconds), no completion timestamps.
+func fiu(name string, traces int, avgKB, totalGB, readFrac, seqFrac float64, longMean time.Duration) Profile {
+	return Profile{
+		Name: name, Set: "FIU", NumTraces: traces, AvgKB: avgKB, TotalGB: totalGB,
+		ReadFrac: readFrac, SeqFrac: seqFrac, AsyncFrac: 0.15,
+		IdleFreq:      0.31,
+		IdleShortFrac: 0.45, IdleMidFrac: 0.25, IdleLongFrac: 0.30,
+		LongIdleMean: longMean,
+		WorkingSetGB: 16, TsdevKnown: false,
+	}
+}
+
+// msrc builds an MSRC-family profile: idle-rare (~26%), idle-long,
+// completion-timestamped.
+func msrc(name string, traces int, avgKB, totalGB, readFrac, seqFrac float64, longMean time.Duration) Profile {
+	return Profile{
+		Name: name, Set: "MSRC", NumTraces: traces, AvgKB: avgKB, TotalGB: totalGB,
+		ReadFrac: readFrac, SeqFrac: seqFrac, AsyncFrac: 0.20,
+		IdleFreq:      0.26,
+		IdleShortFrac: 0.40, IdleMidFrac: 0.25, IdleLongFrac: 0.35,
+		LongIdleMean: longMean,
+		WorkingSetGB: 64, TsdevKnown: true,
+	}
+}
+
+// Profiles returns the 31 Table I workload families plus the Exchange
+// workload the paper's Figs 1/3 use (Exchange is part of the MSPS
+// corpus but not broken out in Table I; it is excluded from corpus
+// totals). The slice order is the paper's Table I order.
+func Profiles() []Profile {
+	return []Profile{
+		// --- MSPS, published 2007 (324 traces) ---
+		msps("24HR", 18, 8.27, 21.2, 0.55, 0.30, 700*time.Millisecond),
+		msps("24HRS", 18, 28.79, 178.6, 0.60, 0.45, 600*time.Millisecond),
+		msps("BS", 96, 20.73, 331.2, 0.45, 0.35, 800*time.Millisecond),
+		msps("CFS", 36, 9.71, 43.6, 0.65, 0.25, 500*time.Millisecond),
+		msps("DADS", 48, 28.66, 44.6, 0.70, 0.50, 650*time.Millisecond),
+		msps("DAP", 48, 74.42, 84, 0.75, 0.60, 900*time.Millisecond),
+		msps("DDR", 24, 24.78, 44, 0.50, 0.40, 750*time.Millisecond),
+		msps("MSNFS", 36, 10.71, 317.9, 0.60, 0.30, 550*time.Millisecond),
+		// --- FIU SRCMap, published 2008 (176 traces) ---
+		fiu("ikki", 20, 4.64, 25.4, 0.25, 0.15, 9*time.Second),
+		fiu("madmax", 20, 4.11, 3.8, 0.20, 0.10, 60*time.Second),
+		fiu("online", 20, 4.00, 22.8, 0.30, 0.15, 8*time.Second),
+		fiu("topgun", 20, 3.87, 9.4, 0.22, 0.12, 10*time.Second),
+		fiu("webmail", 20, 4.00, 31.2, 0.35, 0.15, 7*time.Second),
+		fiu("casa", 20, 4.04, 80.4, 0.28, 0.14, 8*time.Second),
+		fiu("webresearch", 28, 4.00, 13.7, 0.40, 0.18, 9*time.Second),
+		fiu("webusers", 28, 4.20, 33.6, 0.38, 0.16, 8*time.Second),
+		// --- FIU IODedup, published 2009 (42 traces) ---
+		fiu("mail+online", 21, 4.0, 57.1, 0.32, 0.15, 7*time.Second),
+		fiu("homes", 21, 5.23, 84.6, 0.20, 0.20, 9*time.Second),
+		// --- MSRC, published 2008 (35 traces) ---
+		msrc("mds", 2, 33.0, 208.4, 0.55, 0.40, 7*time.Second),
+		msrc("prn", 2, 15.4, 568.8, 0.35, 0.30, 6*time.Second),
+		msrc("proj", 5, 29.6, 4780.1, 0.60, 0.50, 7*time.Second),
+		msrc("prxy", 2, 8.6, 4353, 0.20, 0.25, 5*time.Second),
+		msrc("rsrch", 3, 8.4, 27.63, 0.15, 0.20, 180*time.Second),
+		msrc("src1", 3, 35.7, 6516.5, 0.65, 0.55, 6*time.Second),
+		msrc("src2", 3, 40.9, 230.6, 0.60, 0.50, 7*time.Second),
+		msrc("stg", 2, 26.2, 226.4, 0.45, 0.40, 6*time.Second),
+		msrc("web", 4, 7, 625.4, 0.70, 0.25, 6*time.Second),
+		msrc("wdev", 4, 34, 23.7, 0.25, 0.35, 900*time.Second),
+		msrc("usr", 3, 38.65, 5506.1, 0.55, 0.45, 7*time.Second),
+		msrc("hm", 1, 15.16, 9.24, 0.45, 0.30, 6*time.Second),
+		msrc("ts", 1, 9.0, 16.2, 0.40, 0.25, 6*time.Second),
+	}
+}
+
+// Exchange is the Microsoft exchange-server workload of Figs 1 and 3:
+// MSPS corpus style, 5000-user mail pattern.
+func Exchange() Profile {
+	p := msps("Exchange", 0, 12.5, 600, 0.45, 0.20, 500*time.Millisecond)
+	p.AsyncFrac = 0.30
+	return p
+}
+
+// Lookup returns the profile with the given name (Profiles plus
+// Exchange); ok is false when the name is unknown.
+func Lookup(name string) (Profile, bool) {
+	if name == "Exchange" {
+		return Exchange(), true
+	}
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// TotalTraces sums NumTraces across Profiles — the paper's 577.
+func TotalTraces() int {
+	n := 0
+	for _, p := range Profiles() {
+		n += p.NumTraces
+	}
+	return n
+}

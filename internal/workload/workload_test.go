@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestProfilesMatchTableI(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 31 {
+		t.Fatalf("profiles = %d, want 31 workload families", len(ps))
+	}
+	if TotalTraces() != 577 {
+		t.Fatalf("total traces = %d, want 577 (Table I)", TotalTraces())
+	}
+	sets := map[string]int{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		sets[p.Set] += p.NumTraces
+	}
+	if sets["MSPS"] != 324 || sets["FIU"] != 218 || sets["MSRC"] != 35 {
+		t.Fatalf("per-set counts %v, want MSPS 324 / FIU 218 / MSRC 35", sets)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p, ok := Lookup("MSNFS")
+	if !ok || p.Set != "MSPS" {
+		t.Fatalf("Lookup MSNFS: %+v %v", p, ok)
+	}
+	if _, ok := Lookup("Exchange"); !ok {
+		t.Fatal("Exchange must be resolvable")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+func TestTsdevKnownBySets(t *testing.T) {
+	for _, p := range Profiles() {
+		want := p.Set != "FIU"
+		if p.TsdevKnown != want {
+			t.Errorf("%s (%s): TsdevKnown = %v", p.Name, p.Set, p.TsdevKnown)
+		}
+	}
+}
+
+func TestSizeMixHitsMean(t *testing.T) {
+	for _, avg := range []float64{4.0, 4.64, 10.71, 28.79, 74.42} {
+		sizes, weights := sizeMix(avg)
+		if len(sizes) != len(weights) {
+			t.Fatal("mismatched mixture")
+		}
+		var wsum, mean float64
+		for i := range sizes {
+			wsum += weights[i]
+			mean += weights[i] * float64(sizes[i]) * trace.SectorSize / 1024
+		}
+		if math.Abs(wsum-1) > 1e-9 {
+			t.Fatalf("avg %v: weights sum %v", avg, wsum)
+		}
+		// Mixture mean within 40% of target (anchors are powers of
+		// two; clamping can bias small averages).
+		if mean < avg*0.6 || mean > avg*1.6 {
+			t.Fatalf("avg %v: mixture mean %v", avg, mean)
+		}
+		// At least two distinct sizes (β/η need two CDFs).
+		if sizes[0] == sizes[len(sizes)-1] {
+			t.Fatalf("avg %v: degenerate mixture %v", avg, sizes)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := Lookup("ikki")
+	a := Generate(p, GenOptions{Ops: 500, Seed: 42})
+	b := Generate(p, GenOptions{Ops: 500, Seed: 42})
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	c := Generate(p, GenOptions{Ops: 500, Seed: 43})
+	same := true
+	for i := range a.Ops {
+		if a.Ops[i] != c.Ops[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateStatisticalShape(t *testing.T) {
+	p, _ := Lookup("MSNFS")
+	app := Generate(p, GenOptions{Ops: 20000, Seed: 7})
+	reads, idles, asyncs := 0, 0, 0
+	for _, op := range app.Ops {
+		if op.Op == trace.Read {
+			reads++
+		}
+		if op.Think > 0 {
+			idles++
+		}
+		if !op.Sync {
+			asyncs++
+		}
+	}
+	n := float64(len(app.Ops))
+	if rf := float64(reads) / n; math.Abs(rf-p.ReadFrac) > 0.05 {
+		t.Fatalf("read fraction %v, want ~%v", rf, p.ReadFrac)
+	}
+	// Idle frequency: async bursts zero their think times, so the
+	// realized rate sits below IdleFreq but must stay in its vicinity.
+	if idf := float64(idles) / n; idf < p.IdleFreq*0.5 || idf > p.IdleFreq*1.1 {
+		t.Fatalf("idle fraction %v, want near %v", idf, p.IdleFreq)
+	}
+	if af := float64(asyncs) / n; af < 0.05 || af > 0.6 {
+		t.Fatalf("async fraction %v implausible", af)
+	}
+}
+
+func TestDrawIdleBuckets(t *testing.T) {
+	p, _ := Lookup("homes")
+	rng := rand.New(rand.NewSource(3))
+	short, mid, long := 0, 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := p.drawIdle(rng)
+		switch {
+		case d <= 10*time.Millisecond:
+			short++
+		case d <= 100*time.Millisecond:
+			mid++
+		default:
+			long++
+		}
+	}
+	if sf := float64(short) / n; math.Abs(sf-p.IdleShortFrac) > 0.03 {
+		t.Fatalf("short frac %v, want %v", sf, p.IdleShortFrac)
+	}
+	if lf := float64(long) / n; math.Abs(lf-p.IdleLongFrac) > 0.03 {
+		t.Fatalf("long frac %v, want %v", lf, p.IdleLongFrac)
+	}
+}
+
+func TestExpectedIdleMeanOrdering(t *testing.T) {
+	// FIU families must have much longer expected idles than MSPS
+	// (Fig 16: 2.80s vs 0.27s), and wdev the longest of all.
+	msnfs, _ := Lookup("MSNFS")
+	ikki, _ := Lookup("ikki")
+	wdev, _ := Lookup("wdev")
+	if ikki.ExpectedIdleMean() <= msnfs.ExpectedIdleMean() {
+		t.Fatal("FIU idle mean should exceed MSPS")
+	}
+	if wdev.ExpectedIdleMean() <= ikki.ExpectedIdleMean() {
+		t.Fatal("wdev idle mean should dominate (Fig 16: 403s)")
+	}
+}
+
+func TestTraceSeedStable(t *testing.T) {
+	if TraceSeed("ikki", 3) != TraceSeed("ikki", 3) {
+		t.Fatal("TraceSeed not stable")
+	}
+	if TraceSeed("ikki", 3) == TraceSeed("ikki", 4) {
+		t.Fatal("TraceSeed ignores index")
+	}
+	if TraceSeed("ikki", 3) == TraceSeed("casa", 3) {
+		t.Fatal("TraceSeed ignores family")
+	}
+	if TraceSeed("x", 0) < 0 {
+		t.Fatal("TraceSeed must be non-negative")
+	}
+}
+
+func TestGenerateLBAWithinWorkingSet(t *testing.T) {
+	p, _ := Lookup("prxy")
+	app := Generate(p, GenOptions{Ops: 5000, Seed: 11})
+	limit := uint64(p.WorkingSetGB*1e9/trace.SectorSize) + 1<<20
+	for i, op := range app.Ops {
+		if op.LBA > limit {
+			t.Fatalf("op %d LBA %d beyond working set", i, op.LBA)
+		}
+		if op.Sectors == 0 {
+			t.Fatalf("op %d zero sectors", i)
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	p, _ := Lookup("webusers")
+	const ops = 8000
+	app := Generate(p, GenOptions{Ops: ops, Seed: 5, DiurnalOps: ops})
+	// Phase 0..pi/2 and 3pi/2..2pi are "day" (cos near 1), the middle
+	// half is "night": the night half must carry more total think.
+	var day, night time.Duration
+	for i, op := range app.Ops {
+		if i >= ops/4 && i < 3*ops/4 {
+			night += op.Think
+		} else {
+			day += op.Think
+		}
+	}
+	if night <= day {
+		t.Fatalf("night think %v should exceed day think %v", night, day)
+	}
+	// Without modulation the halves balance (within 3x).
+	flat := Generate(p, GenOptions{Ops: ops, Seed: 5})
+	day, night = 0, 0
+	for i, op := range flat.Ops {
+		if i >= ops/4 && i < 3*ops/4 {
+			night += op.Think
+		} else {
+			day += op.Think
+		}
+	}
+	ratio := float64(night) / float64(day+1)
+	if ratio > 3 || ratio < 1.0/3 {
+		t.Fatalf("unmodulated halves imbalanced: %v", ratio)
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	p, _ := Lookup("ikki")
+	a := Generate(p, GenOptions{Ops: 500, Seed: 9, DiurnalOps: 250})
+	b := Generate(p, GenOptions{Ops: 500, Seed: 9, DiurnalOps: 250})
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatal("diurnal generation not deterministic")
+		}
+	}
+}
