@@ -12,10 +12,15 @@
 package main
 
 import (
+	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 
 	corePkg "repro/internal/core"
+	"repro/internal/device"
+	enginePkg "repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/stats"
@@ -270,6 +275,66 @@ func BenchmarkRenderAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Render(discard)
+	}
+}
+
+// --- Engine (internal/engine) ---
+
+var (
+	engineBenchOnce sync.Once
+	engineBenchOld  *tracePkg.Trace
+)
+
+// engineBenchTrace lazily synthesizes the 1M-request corpus the engine
+// throughput benches share: an MSNFS-profile application executed on
+// the OLD device, so per-request latencies are recorded (Tsdev-known)
+// and the parallel fraction — decomposition + emulation — dominates,
+// as it does on the real event-traced corpora.
+func engineBenchTrace(b *testing.B) *tracePkg.Trace {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		p, ok := workload.Lookup("MSNFS")
+		if !ok {
+			panic("MSNFS profile missing")
+		}
+		app := workload.Generate(p, workload.GenOptions{
+			Ops:  1_000_000,
+			Seed: workload.TraceSeed("engine-bench", 0),
+		})
+		res := app.Execute(device.NewHDD(device.DefaultHDDConfig()))
+		engineBenchOld = res.Trace
+		engineBenchOld.Name = "engine-bench-1m"
+	})
+	return engineBenchOld
+}
+
+// BenchmarkEngineReconstruct measures sharded reconstruction
+// throughput over the 1M-request trace at 1, 4 and GOMAXPROCS
+// workers. SetBytes uses the 34-byte binary record size, so the
+// ns/op column converts to on-disk MB/s of trace processed.
+func BenchmarkEngineReconstruct(b *testing.B) {
+	old := engineBenchTrace(b)
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workerSet {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := enginePkg.New(enginePkg.Config{Workers: w})
+			b.SetBytes(int64(old.Len()) * 34)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _, err := eng.Reconstruct(old)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != old.Len() {
+					b.Fatalf("lost requests: %d != %d", out.Len(), old.Len())
+				}
+			}
+		})
 	}
 }
 

@@ -3,9 +3,20 @@
 // hardware emulation → post-processing), or any of the four baseline
 // methods for comparison.
 //
+// The tracetracker and dynamic methods run on the sharded parallel
+// engine (internal/engine): the trace is cut into epochs at idle-period
+// boundaries and reconstructed on -parallel workers (default
+// GOMAXPROCS), with output byte-identical to the sequential pipeline.
+// -stream additionally bounds memory by streaming the input through
+// the engine instead of materializing it (requires -in and -out; the
+// output is written atomically and the fio job file is not emitted in
+// this mode).
+//
 // Usage:
 //
 //	tracetracker -in old.csv -out new.csv
+//	tracetracker -in old.csv -parallel 8 -out new.csv
+//	tracetracker -in old.bin -informat bin -stream -out new.bin -outformat bin
 //	tracetracker -in old.csv -method revision -out rev.csv
 //	tracetracker -in old.bin -informat bin -report
 package main
@@ -15,11 +26,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/infer"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -34,8 +48,21 @@ func main() {
 		`reconstruction method: "tracetracker", "dynamic", "fixed-th", "revision", "acceleration"`)
 	factor := flag.Float64("factor", baseline.DefaultAccelerationFactor, "acceleration factor")
 	threshold := flag.Duration("threshold", baseline.DefaultFixedThreshold, "fixed-th idle threshold")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"engine workers for the tracetracker/dynamic methods (output stays byte-identical)")
+	stream := flag.Bool("stream", false,
+		"stream the reconstruction with bounded memory (requires -in and -out; tracetracker/dynamic only)")
+	reorderWindow := flag.Int("reorder-window", 0,
+		"streaming arrival-sort window for near-sorted corpora (0 = auto per format)")
 	showReport := flag.Bool("report", false, "print the reconstruction report to stderr")
 	flag.Parse()
+
+	if *stream {
+		if err := runStream(*in, *informat, *out, *outformat, *fioDevice, *method, *parallel, *reorderWindow, *showReport); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	old, err := readTrace(*in, *informat)
 	if err != nil {
@@ -51,10 +78,12 @@ func main() {
 		rep    *core.Report
 	)
 	switch *method {
-	case "tracetracker":
-		result, rep, err = core.Reconstruct(old, target, core.Options{})
-	case "dynamic":
-		result, rep, err = core.Reconstruct(old, target, core.Options{SkipPostProcess: true})
+	case "tracetracker", "dynamic":
+		eng := engine.New(engine.Config{
+			Workers: *parallel,
+			Core:    core.Options{SkipPostProcess: *method == "dynamic"},
+		})
+		result, rep, err = eng.Reconstruct(old)
 	case "fixed-th":
 		result = baseline.FixedTh(old, target, *threshold)
 	case "revision":
@@ -74,13 +103,7 @@ func main() {
 		t.AddRow("idle instructions", rep.IdleCount)
 		t.AddRow("total idle", rep.IdleTotal)
 		t.AddRow("async instructions", rep.AsyncCount)
-		if rep.Model != nil {
-			t.AddRow("beta (us/sector)", rep.Model.BetaMicros)
-			t.AddRow("eta (us/sector)", rep.Model.EtaMicros)
-			t.AddRow("Tcdel read", time.Duration(rep.Model.TcdelReadMicros*float64(time.Microsecond)))
-			t.AddRow("Tcdel write", time.Duration(rep.Model.TcdelWriteMicros*float64(time.Microsecond)))
-			t.AddRow("Tmovd", time.Duration(rep.Model.TmovdMicros*float64(time.Microsecond)))
-		}
+		addModelRows(t, rep.Model)
 		t.AddRow("old duration", old.Duration())
 		t.AddRow("new duration", result.Duration())
 		t.Render(os.Stderr)
@@ -89,6 +112,60 @@ func main() {
 	if err := writeTrace(*out, *outformat, *fioDevice, result); err != nil {
 		fatal(err)
 	}
+}
+
+// runStream drives the bounded-memory engine path by delegating to
+// the same engine.RunJob the daemon executes (two passes over the
+// input file: model fit, then sharded reconstruction; the output is
+// written atomically).
+func runStream(in, informat, out, outformat, fioDevice, method string, parallel, reorderWindow int, showReport bool) error {
+	if in == "" {
+		return fmt.Errorf("-stream needs -in (the model-fit pass re-reads the input)")
+	}
+	if out == "" {
+		return fmt.Errorf("-stream needs -out (the output is written atomically via a temp file)")
+	}
+	res, err := engine.RunJob(engine.Config{}, engine.JobSpec{
+		In:            in,
+		InFormat:      informat,
+		Out:           out,
+		OutFormat:     outformat,
+		FIODevice:     fioDevice,
+		Method:        method,
+		Parallel:      parallel,
+		Stream:        true,
+		ReorderWindow: reorderWindow,
+	})
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	if showReport {
+		t := &report.Table{Title: "streaming reconstruction report", Headers: []string{"metric", "value"}}
+		t.AddRow("requests", rep.Requests)
+		t.AddRow("shards", rep.Shards)
+		t.AddRow("workers", rep.Workers)
+		t.AddRow("idle instructions", rep.IdleCount)
+		t.AddRow("total idle", rep.IdleTotal)
+		t.AddRow("async instructions", rep.AsyncCount)
+		addModelRows(t, rep.Model)
+		t.Render(os.Stderr)
+	}
+	return nil
+}
+
+// addModelRows appends the fitted model's parameters to a report
+// table (no-op on the recorded-latency path), so the streaming and
+// in-memory reports cannot drift.
+func addModelRows(t *report.Table, m *infer.Model) {
+	if m == nil {
+		return
+	}
+	t.AddRow("beta (us/sector)", m.BetaMicros)
+	t.AddRow("eta (us/sector)", m.EtaMicros)
+	t.AddRow("Tcdel read", time.Duration(m.TcdelReadMicros*float64(time.Microsecond)))
+	t.AddRow("Tcdel write", time.Duration(m.TcdelWriteMicros*float64(time.Microsecond)))
+	t.AddRow("Tmovd", time.Duration(m.TmovdMicros*float64(time.Microsecond)))
 }
 
 func readTrace(path, format string) (*trace.Trace, error) {
@@ -101,18 +178,7 @@ func readTrace(path, format string) (*trace.Trace, error) {
 		defer f.Close()
 		r = f
 	}
-	switch format {
-	case "csv":
-		return trace.ReadCSV(r)
-	case "bin":
-		return trace.ReadBinary(r)
-	case "msrc":
-		return trace.ReadMSRC(r)
-	case "spc":
-		return trace.ReadSPC(r)
-	default:
-		return nil, fmt.Errorf("unknown input format %q", format)
-	}
+	return trace.ReadFormat(format, r)
 }
 
 func writeTrace(path, format, fioDevice string, t *trace.Trace) error {
@@ -125,23 +191,19 @@ func writeTrace(path, format, fioDevice string, t *trace.Trace) error {
 		defer f.Close()
 		w = f
 	}
-	switch format {
-	case "csv":
-		return trace.WriteCSV(w, t)
-	case "bin":
-		return trace.WriteBinary(w, t)
-	case "blktrace":
-		return trace.WriteBlktrace(w, t)
-	case "fio":
+	if format == "fio" {
 		// Emit the iolog; the matching job file goes to stderr as a
 		// convenience so a single pipeline produces both.
 		if err := trace.WriteFIOLog(w, t, fioDevice); err != nil {
 			return err
 		}
 		return trace.WriteFIOJob(os.Stderr, t, path, fioDevice)
-	default:
-		return fmt.Errorf("unknown output format %q", format)
 	}
+	enc, err := trace.NewEncoder(format, w, fioDevice)
+	if err != nil {
+		return err
+	}
+	return trace.EncodeTrace(enc, t)
 }
 
 func fatal(err error) {

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/trace"
 )
 
@@ -87,5 +89,66 @@ func TestUnknownFormats(t *testing.T) {
 func TestReadTraceMissingFile(t *testing.T) {
 	if _, err := readTrace("/nonexistent/path.csv", "csv"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunStreamMatchesSequential drives the -stream code path end to
+// end and checks it reproduces the sequential pipeline's output file.
+func TestRunStreamMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	old := &trace.Trace{Name: "cli-stream", TsdevKnown: true}
+	now := time.Duration(0)
+	for i := 0; i < 300; i++ {
+		old.Requests = append(old.Requests, trace.Request{
+			Arrival: now, LBA: uint64(i * 64), Sectors: 8,
+			Op:      trace.Read,
+			Latency: 80 * time.Microsecond,
+		})
+		now += time.Duration(200+i%500) * time.Microsecond
+		if i%50 == 49 {
+			now += 5 * time.Millisecond
+		}
+	}
+	inPath := filepath.Join(dir, "in.bin")
+	if err := writeTrace(inPath, "bin", "", old); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.csv")
+	if err := runStream(inPath, "bin", outPath, "csv", "", "tracetracker", 4, 0, false); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := core.Reconstruct(old, device.NewArray(device.DefaultArrayConfig()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath := filepath.Join(dir, "want.csv")
+	if err := writeTrace(wantPath, "csv", "", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantBytes) {
+		t.Fatal("-stream output diverges from sequential reconstruction")
+	}
+}
+
+// TestRunStreamRejectsStdin checks -stream demands file input/output
+// and an engine method.
+func TestRunStreamRejectsStdin(t *testing.T) {
+	if err := runStream("", "csv", "out.csv", "csv", "", "tracetracker", 1, 0, false); err == nil {
+		t.Fatal("-stream without -in accepted")
+	}
+	if err := runStream("x.csv", "csv", "", "csv", "", "tracetracker", 1, 0, false); err == nil {
+		t.Fatal("-stream without -out accepted")
+	}
+	if err := runStream("x.csv", "csv", "out.csv", "csv", "", "revision", 1, 0, false); err == nil {
+		t.Fatal("-stream with baseline method accepted")
 	}
 }

@@ -1,0 +1,55 @@
+// Command tracetrackerd is the batch reconstruction job server: a
+// long-running HTTP daemon that runs whole-corpus reconstructions on
+// the sharded parallel engine (internal/engine).
+//
+// Jobs are JSON engine.JobSpec documents naming an input trace on the
+// server's filesystem, the method, and optionally an output path and
+// the streaming mode for larger-than-memory corpora. The API is
+// unauthenticated and reads/writes server-side paths, so it listens
+// on loopback by default; front it with real auth before exposing it.
+//
+//	tracetrackerd -jobs 2 -parallel 8
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	  -d '{"in":"/traces/web_0.csv","method":"tracetracker","parallel":8}'
+//	curl -s localhost:8080/jobs/job-1          # status + report
+//	curl -s localhost:8080/jobs/job-1/result   # reconstructed trace
+//
+// See the README's "tracetrackerd API" section for the full surface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080",
+		"listen address (loopback by default: the API is unauthenticated and job specs name server-side file paths)")
+	jobs := flag.Int("jobs", 2, "concurrent job executors")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine workers per job")
+	minIdleGap := flag.Duration("min-idle-gap", time.Millisecond, "epoch cut threshold")
+	maxShard := flag.Int("max-shard", 0, "max requests per shard (0 = engine default)")
+	retain := flag.Int("retain", 0, "finished in-memory results kept before eviction (0 = default)")
+	flag.Parse()
+
+	base := engine.Config{
+		Workers:          *parallel,
+		MinIdleGap:       *minIdleGap,
+		MaxShardRequests: *maxShard,
+	}
+	srv := newServer(base, *jobs, *retain)
+
+	fmt.Fprintf(os.Stderr, "tracetrackerd: listening on %s (%d executors x %d workers)\n",
+		*addr, *jobs, *parallel)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+		os.Exit(1)
+	}
+}

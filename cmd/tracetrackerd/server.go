@@ -1,0 +1,378 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// Job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one queued batch reconstruction and its lifecycle record.
+type job struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name"`
+	State     string         `json:"state"`
+	Error     string         `json:"error,omitempty"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Spec      engine.JobSpec `json:"spec"`
+	Report    *jobReport     `json:"report,omitempty"`
+	OutPath   string         `json:"out_path,omitempty"`
+	ResultURL string         `json:"result_url,omitempty"`
+
+	result *engine.JobResult
+}
+
+// jobReport is the JSON projection of an engine report.
+type jobReport struct {
+	Requests    int64   `json:"requests"`
+	Shards      int     `json:"shards,omitempty"`
+	Workers     int     `json:"workers"`
+	IdleCount   int     `json:"idle_count"`
+	IdleTotalUS float64 `json:"idle_total_us"`
+	AsyncCount  int     `json:"async_count"`
+	BetaMicros  float64 `json:"beta_us_per_sector,omitempty"`
+	EtaMicros   float64 `json:"eta_us_per_sector,omitempty"`
+}
+
+func newJobReport(r *engine.Report) *jobReport {
+	if r == nil {
+		return nil
+	}
+	jr := &jobReport{
+		Requests:    r.Requests,
+		Shards:      r.Shards,
+		Workers:     r.Workers,
+		IdleCount:   r.IdleCount,
+		IdleTotalUS: float64(r.IdleTotal) / float64(time.Microsecond),
+		AsyncCount:  r.AsyncCount,
+	}
+	if r.Model != nil {
+		jr.BetaMicros = r.Model.BetaMicros
+		jr.EtaMicros = r.Model.EtaMicros
+	}
+	return jr
+}
+
+// server is the tracetrackerd HTTP API: a bounded pool of job
+// executors over the sharded reconstruction engine.
+//
+//	POST /jobs              submit a JobSpec, returns {"id": ...}
+//	GET  /jobs              list all jobs (most recent first)
+//	GET  /jobs/{id}         job status + report
+//	GET  /jobs/{id}/result  the reconstructed trace
+//	GET  /healthz           liveness + queue depth
+// Retention bounds: a long-running daemon must not accumulate every
+// result it ever produced.
+const (
+	// defaultRetainResults caps how many finished in-memory result
+	// traces stay resident; older ones are evicted (their metadata
+	// stays, the result endpoint then returns 410 Gone).
+	defaultRetainResults = 16
+	// retainJobs caps job metadata records; the oldest finished jobs
+	// beyond it are forgotten entirely.
+	retainJobs = 4096
+)
+
+type server struct {
+	base          engine.Config
+	mux           *http.ServeMux
+	retainResults int
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// newServer builds a server executing up to concurrent jobs at once,
+// each on an engine derived from base, retaining at most
+// retainResults finished in-memory result traces (<=0 = default).
+func newServer(base engine.Config, concurrent, retainResults int) *server {
+	if concurrent <= 0 {
+		concurrent = 2
+	}
+	if retainResults <= 0 {
+		retainResults = defaultRetainResults
+	}
+	s := &server{
+		base:          base,
+		mux:           http.NewServeMux(),
+		retainResults: retainResults,
+		jobs:          make(map[string]*job),
+		queue:         make(chan *job, 1024),
+	}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < concurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting submissions and waits for the executors to
+// finish every queued and running job.
+func (s *server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	// Safe: handleSubmit only sends to the queue under s.mu after
+	// checking closed, so no send can race this close.
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker executes queued jobs one at a time.
+func (s *server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		now := time.Now()
+		s.mu.Lock()
+		j.State = stateRunning
+		j.Started = &now
+		s.mu.Unlock()
+
+		res, err := engine.RunJob(s.base, j.Spec)
+
+		fin := time.Now()
+		s.mu.Lock()
+		j.Finished = &fin
+		if err != nil {
+			j.State = stateFailed
+			j.Error = err.Error()
+		} else {
+			j.State = stateDone
+			j.result = res
+			j.Report = newJobReport(res.Report)
+			j.OutPath = res.OutPath
+			j.ResultURL = "/jobs/" + j.ID + "/result"
+		}
+		s.prune()
+		s.mu.Unlock()
+	}
+}
+
+// prune enforces the retention bounds; the caller holds s.mu. Oldest
+// in-memory result traces beyond retainResults are evicted, and the
+// oldest finished job records beyond retainJobs are dropped.
+func (s *server) prune() {
+	resident := 0
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.result != nil && j.result.Trace != nil {
+			resident++
+		}
+	}
+	for _, id := range s.order {
+		if resident <= s.retainResults {
+			break
+		}
+		if j := s.jobs[id]; j.result != nil && j.result.Trace != nil {
+			j.result = nil
+			resident--
+		}
+	}
+	if len(s.order) > retainJobs {
+		kept := s.order[:0]
+		drop := len(s.order) - retainJobs
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if drop > 0 && (j.State == stateDone || j.State == stateFailed) {
+				delete(s.jobs, id)
+				drop--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	s.nextID++
+	j := &job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Name:      spec.Name,
+		State:     stateQueued,
+		Submitted: time.Now(),
+		Spec:      spec,
+	}
+	// The non-blocking send happens under s.mu so it is atomic with
+	// the closed check above (Close sets closed before closing the
+	// channel, under the same lock).
+	queued := false
+	select {
+	case s.queue <- j:
+		queued = true
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	default:
+	}
+	s.mu.Unlock()
+	if !queued {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue full"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": j.ID, "status_url": "/jobs/" + j.ID})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	// Snapshot under the lock, marshal outside it: serializing
+	// thousands of retained records must not stall workers flipping
+	// job states.
+	s.mu.Lock()
+	out := make([]job, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, *s.jobs[s.order[i]])
+	}
+	s.mu.Unlock()
+	data, err := json.Marshal(out)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var data []byte
+	var err error
+	if ok {
+		data, err = json.Marshal(j)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var state, outPath string
+	var res *engine.JobResult
+	var spec engine.JobSpec
+	if ok {
+		state = j.State
+		res = j.result
+		spec = j.Spec
+		outPath = j.OutPath
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	if state != stateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s", state))
+		return
+	}
+	if outPath != "" {
+		http.ServeFile(w, r, outPath)
+		return
+	}
+	if res == nil || res.Trace == nil {
+		httpError(w, http.StatusGone, fmt.Errorf("in-memory result evicted (retention limit); rerun with an output path"))
+		return
+	}
+	format := spec.OutFormat
+	if format == "bin" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	enc, err := trace.NewEncoder(format, w, spec.FIODevice)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := trace.EncodeTrace(enc, res.Trace); err != nil {
+		// Headers are gone; nothing better to do than log-by-status.
+		return
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued, running := 0, 0
+	for _, j := range s.jobs {
+		switch j.State {
+		case stateQueued:
+			queued++
+		case stateRunning:
+			running++
+		}
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"ok":      true,
+		"jobs":    total,
+		"queued":  queued,
+		"running": running,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

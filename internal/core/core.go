@@ -49,6 +49,10 @@ type Report struct {
 	IdleTotal time.Duration
 	// AsyncCount is the number of async-flagged instructions.
 	AsyncCount int
+	// Shards is the number of epoch shards the reconstruction ran as:
+	// 1 for this sequential pipeline, more when the parallel engine
+	// produced the report.
+	Shards int
 }
 
 // idleStats fills the aggregate fields from the per-instruction data.
@@ -73,25 +77,19 @@ func (r *Report) idleStats() {
 // instructions on the target device with those idles, and post-process
 // the emulated trace to restore asynchronous inter-arrival behaviour.
 func Reconstruct(old *trace.Trace, target device.Device, opts Options) (*trace.Trace, *Report, error) {
-	rep := &Report{}
-	useRecorded := old.TsdevKnown && !opts.ForceInference
-	if !useRecorded {
-		m, err := infer.Estimate(old, opts.Estimate)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Model = m
+	rep := &Report{Shards: 1}
+	m, useRecorded, err := PrepareModel(old, opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	// Decompose consults recorded latencies whenever the trace is
-	// TsdevKnown; passing the model too lets ForceInference traces
-	// fall back to it for unrecorded entries.
-	src := old
-	if !useRecorded && old.TsdevKnown {
-		// ForceInference: hide recorded latencies from decomposition.
-		src = old.Clone()
-		src.TsdevKnown = false
-	}
-	rep.Idle, rep.Async = infer.Decompose(rep.Model, src)
+	rep.Model = m
+	// The effective-TsdevKnown flag (not the trace's own) selects
+	// recorded latencies, which is how ForceInference hides them from
+	// decomposition without copying the trace.
+	rep.Idle, rep.Async = infer.DecomposeShard(rep.Model, old.Requests, infer.ShardContext{
+		TsdevKnown: useRecorded,
+		Seq:        old.SeqFlags(),
+	})
 	rep.idleStats()
 
 	out := replay.Emulate(old, target, rep.Idle)
@@ -99,6 +97,20 @@ func Reconstruct(old *trace.Trace, target device.Device, opts Options) (*trace.T
 		postProcess(out, rep.Async)
 	}
 	return out, rep, nil
+}
+
+// PrepareModel makes the pipeline's model decision in one place, for
+// the sequential path above and the parallel engine alike: it reports
+// whether recorded latencies drive the decomposition (Tsdev-known and
+// not ForceInference) and fits the Section III model otherwise. The
+// model is nil on the recorded path, mirroring the paper's "skip the
+// Tsdev inference phase".
+func PrepareModel(old *trace.Trace, opts Options) (m *infer.Model, useRecorded bool, err error) {
+	if old.TsdevKnown && !opts.ForceInference {
+		return nil, true, nil
+	}
+	m, err = infer.Estimate(old, opts.Estimate)
+	return m, false, err
 }
 
 // postProcess restores asynchronous-mode timing (Section IV): the
@@ -110,17 +122,28 @@ func Reconstruct(old *trace.Trace, target device.Device, opts Options) (*trace.T
 // only the submission-gap (channel occupancy) component the paper's
 // Fig 2b attributes to async issues.
 func postProcess(t *trace.Trace, async []bool) {
-	var shift time.Duration
-	for i := range t.Requests {
-		t.Requests[i].Arrival -= shift
+	PostProcessShard(t.Requests, async, 0)
+}
+
+// PostProcessShard applies the asynchronous-mode restoration to one
+// shard of an emulated trace, in place. shift is the cumulative
+// arrival reduction accumulated by earlier shards (zero for the whole
+// trace or the first shard); the updated cumulative shift is returned
+// so shard results chain: running PostProcessShard over consecutive
+// shards, threading the shift, equals one postProcess pass over the
+// concatenation.
+func PostProcessShard(reqs []trace.Request, async []bool, shift time.Duration) time.Duration {
+	for i := range reqs {
+		reqs[i].Arrival -= shift
 		if i < len(async) && async[i] {
-			reduction := t.Requests[i].Latency - replay.SubmissionGap
+			reduction := reqs[i].Latency - replay.SubmissionGap
 			if reduction > 0 {
 				shift += reduction
 			}
-			t.Requests[i].Async = true
+			reqs[i].Async = true
 		}
 	}
+	return shift
 }
 
 // InterArrivalGap summarizes |Tintt(a) − Tintt(b)| between two equal-

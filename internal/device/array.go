@@ -64,6 +64,10 @@ func (a *Array) Name() string {
 	return fmt.Sprintf("flash-array-%dx%s", a.cfg.Members, a.members[0].Name())
 }
 
+// ShardSafe implements ShardSafe: striping is stateless and the
+// members are shard-safe SSDs.
+func (a *Array) ShardSafe() bool { return true }
+
 // Reset implements Device.
 func (a *Array) Reset() {
 	for _, m := range a.members {

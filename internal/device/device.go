@@ -45,6 +45,26 @@ type Device interface {
 	Reset()
 }
 
+// ShardSafe is implemented by devices whose servicing depends only on
+// busy state that never outlives the last completion: once such a
+// device has drained, a later submission is serviced exactly as on a
+// freshly Reset device, so a synchronous emulation over it is
+// invariant under time translation and may be partitioned into shards
+// (see replay.EmulateShard). The flash simulators qualify; the HDD
+// does not — its head position and rotational phase persist across
+// idle periods.
+type ShardSafe interface {
+	// ShardSafe reports whether shard-parallel emulation reproduces
+	// the sequential emulation exactly.
+	ShardSafe() bool
+}
+
+// IsShardSafe reports whether d declares shard-safe emulation.
+func IsShardSafe(d Device) bool {
+	s, ok := d.(ShardSafe)
+	return ok && s.ShardSafe()
+}
+
 // bytesDuration returns the time to move n bytes at rate bytesPerSec.
 func bytesDuration(n int64, bytesPerSec float64) time.Duration {
 	if bytesPerSec <= 0 {

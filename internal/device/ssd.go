@@ -103,6 +103,10 @@ func NewSSD(cfg SSDConfig) *SSD {
 // Name implements Device.
 func (s *SSD) Name() string { return "nvme-ssd" }
 
+// ShardSafe implements ShardSafe: all SSD state is busy-until
+// tracking bounded by the last completion.
+func (s *SSD) ShardSafe() bool { return true }
+
 // Reset implements Device.
 func (s *SSD) Reset() {
 	s.chanBusy = make([]time.Duration, s.cfg.Channels)

@@ -1,0 +1,188 @@
+// Package engine is the streaming, sharded reconstruction engine: it
+// runs the TraceTracker co-evaluation pipeline (package core) over
+// epoch shards of a trace concurrently, producing output byte-identical
+// to the sequential pipeline while scaling with cores and, in streaming
+// mode, holding only a bounded window of the trace in memory.
+//
+// # Why sharding is exact
+//
+// The emulation loop is synchronous: every instruction is submitted at
+// or after the previous completion, by which point a shard-safe device
+// (device.ShardSafe) has drained, so its servicing is invariant under
+// time translation. A shard emulated from virtual time zero therefore
+// equals the same span of the whole-trace emulation shifted by the
+// preceding shard's end time. The inference decomposition is local to
+// adjacent request pairs given the per-device sequentiality state, and
+// the post-processing shift only accumulates — so each shard needs just
+// a tiny carry (previous request + flag, next arrival, running seq
+// state) to reproduce its slice of the sequential result exactly. The
+// merge step chains the per-shard time bases and shifts in shard order.
+//
+// The model fit (infer.Estimate) is global, so it runs once up front —
+// incrementally via infer.StreamClassifier in streaming mode. Note the
+// fit itself retains one inter-arrival sample (~8 bytes) per request,
+// so a streaming run over an inference-path corpus (no recorded
+// latencies) is O(n) in samples even though requests stay bounded;
+// only Tsdev-known corpora stream in fully bounded memory.
+//
+// # Shard boundaries
+//
+// The planner prefers to cut where the inter-arrival gap is at least
+// MinIdleGap — the idle-period boundaries the paper's inference step
+// identifies as application think time, which align shards with
+// natural workload epochs — and force-cuts at MaxShardRequests so
+// memory stays bounded on gap-free streams. Correctness does not
+// depend on cut placement (see above); placement only shapes load
+// balance.
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an Engine. The zero value selects GOMAXPROCS
+// workers, 1 ms idle cuts, and the paper's target array.
+type Config struct {
+	// Workers is the number of concurrent shard executors (default
+	// GOMAXPROCS).
+	Workers int
+	// MinIdleGap is the smallest inter-arrival gap treated as an epoch
+	// boundary (default 1 ms, well above device service times).
+	MinIdleGap time.Duration
+	// MinShardRequests is the minimum shard size before an idle cut is
+	// taken (default 1024), so pathological gap-heavy traces don't
+	// produce confetti shards.
+	MinShardRequests int
+	// MaxShardRequests force-cuts a shard regardless of gaps (default
+	// 65536), bounding streaming memory.
+	MaxShardRequests int
+	// Core configures the reconstruction pipeline itself.
+	Core core.Options
+	// Device builds one target device per worker (default: the paper's
+	// 4-SSD flash array).
+	Device func() device.Device
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MinIdleGap <= 0 {
+		c.MinIdleGap = time.Millisecond
+	}
+	if c.MinShardRequests <= 0 {
+		c.MinShardRequests = 1024
+	}
+	if c.MaxShardRequests <= 0 {
+		c.MaxShardRequests = 65536
+	}
+	if c.MaxShardRequests < c.MinShardRequests {
+		// MaxShardRequests is the operator's memory bound — honour it
+		// and shrink the idle-cut minimum instead.
+		c.MinShardRequests = c.MaxShardRequests
+	}
+	if c.Device == nil {
+		c.Device = func() device.Device { return device.NewArray(device.DefaultArrayConfig()) }
+	}
+	return c
+}
+
+// Engine runs sharded reconstructions.
+type Engine struct {
+	cfg Config
+}
+
+// New builds an Engine, applying Config defaults.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Report aggregates reconstruction diagnostics across shards; it is
+// the streaming counterpart of core.Report (which additionally carries
+// per-instruction slices).
+type Report struct {
+	// Model is the fitted inference model (nil on the Tsdev-known path).
+	Model *infer.Model
+	// Requests is the number of instructions processed.
+	Requests int64
+	// Shards is the number of epoch shards executed.
+	Shards int
+	// Workers is the executor count used.
+	Workers int
+	// IdleCount / IdleTotal / AsyncCount mirror core.Report.
+	IdleCount  int
+	IdleTotal  time.Duration
+	AsyncCount int
+}
+
+// Reconstruct is the in-memory entry point: it reproduces
+// core.Reconstruct(old, target, cfg.Core) exactly — byte-identical
+// output and report — but executes the per-shard work on cfg.Workers
+// goroutines. Devices without shard-safe semantics fall back to the
+// sequential pipeline.
+func (e *Engine) Reconstruct(old *trace.Trace) (*trace.Trace, *core.Report, error) {
+	dev := e.cfg.Device()
+	if !device.IsShardSafe(dev) {
+		return core.Reconstruct(old, dev, e.cfg.Core)
+	}
+
+	rep := &core.Report{}
+	m, useRecorded, err := core.PrepareModel(old, e.cfg.Core)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Model = m
+
+	out := &trace.Trace{
+		Name:       old.Name,
+		Workload:   old.Workload,
+		Set:        old.Set,
+		TsdevKnown: true,
+	}
+	n := old.Len()
+	if n > 0 {
+		out.Requests = make([]trace.Request, n)
+		rep.Idle = make([]time.Duration, n)
+		rep.Async = make([]bool, n)
+	}
+
+	// Planning overlaps with execution: shards are submitted as the
+	// scan cuts them, each pointing at its slot of the preallocated
+	// output, so the merge step only fixes up arrivals in place.
+	produce := func(submit func(shard) error) error {
+		pos := 0
+		return planEach(e.cfg, old, func(s shard) error {
+			end := pos + len(s.reqs)
+			s.dst = out.Requests[pos:end]
+			s.dstIdle = rep.Idle[pos:end]
+			s.dstAsync = rep.Async[pos:end]
+			pos = end
+			return submit(s)
+		})
+	}
+	err = e.execute(produce, rep.Model, useRecorded, func(res shardResult, offset time.Duration) error {
+		if offset != 0 {
+			for i := range res.reqs {
+				res.reqs[i].Arrival += offset
+			}
+		}
+		rep.IdleCount += res.idleCount
+		rep.IdleTotal += res.idleTotal
+		rep.AsyncCount += res.asyncCount
+		rep.Shards++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}

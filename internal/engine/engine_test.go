@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// genOld synthesizes an application for a workload family and runs it
+// against the OLD device to obtain a ground-truth block trace (the
+// same construction the experiments use).
+func genOld(t *testing.T, family string, ops int, tsdevKnown bool) *trace.Trace {
+	t.Helper()
+	p, ok := workload.Lookup(family)
+	if !ok {
+		t.Fatalf("unknown workload family %q", family)
+	}
+	app := workload.Generate(p, workload.GenOptions{Ops: ops, Seed: workload.TraceSeed(family, 0)})
+	res := app.Execute(device.NewHDD(device.DefaultHDDConfig()))
+	old := res.Trace
+	old.Name = family + "-000"
+	old.Workload = family
+	old.TsdevKnown = tsdevKnown
+	if !tsdevKnown {
+		for i := range old.Requests {
+			old.Requests[i].Latency = 0
+		}
+	}
+	return old
+}
+
+func traceBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testConfig forces small shards so even unit-test traces split into
+// many epochs.
+func testConfig(workers int, opts core.Options) Config {
+	return Config{
+		Workers:          workers,
+		MinIdleGap:       500 * time.Microsecond,
+		MinShardRequests: 64,
+		MaxShardRequests: 512,
+		Core:             opts,
+	}
+}
+
+// TestParallelByteIdentical is the engine's central guarantee: for
+// N=1,4,8 workers the parallel reconstruction is byte-identical to the
+// sequential core pipeline, across workload families, both latency
+// paths, and both post-processing settings.
+func TestParallelByteIdentical(t *testing.T) {
+	families := []string{"ikki", "MSNFS", "Exchange"}
+	for _, family := range families {
+		for _, tsdev := range []bool{true, false} {
+			for _, skipPost := range []bool{false, true} {
+				opts := core.Options{SkipPostProcess: skipPost}
+				old := genOld(t, family, 3000, tsdev)
+				wantTrace, wantRep, err := core.Reconstruct(old, device.NewArray(device.DefaultArrayConfig()), opts)
+				if err != nil {
+					t.Fatalf("%s tsdev=%v: sequential: %v", family, tsdev, err)
+				}
+				want := traceBytes(t, wantTrace)
+				for _, workers := range []int{1, 4, 8} {
+					e := New(testConfig(workers, opts))
+					gotTrace, gotRep, err := e.Reconstruct(old)
+					if err != nil {
+						t.Fatalf("%s tsdev=%v w=%d: engine: %v", family, tsdev, workers, err)
+					}
+					if got := traceBytes(t, gotTrace); !bytes.Equal(got, want) {
+						t.Fatalf("%s tsdev=%v skipPost=%v w=%d: output not byte-identical to sequential pipeline",
+							family, tsdev, skipPost, workers)
+					}
+					if gotRep.IdleCount != wantRep.IdleCount || gotRep.IdleTotal != wantRep.IdleTotal ||
+						gotRep.AsyncCount != wantRep.AsyncCount {
+						t.Fatalf("%s tsdev=%v w=%d: report aggregates diverge: got %d/%v/%d want %d/%v/%d",
+							family, tsdev, workers,
+							gotRep.IdleCount, gotRep.IdleTotal, gotRep.AsyncCount,
+							wantRep.IdleCount, wantRep.IdleTotal, wantRep.AsyncCount)
+					}
+					if !reflect.DeepEqual(gotRep.Idle, wantRep.Idle) || !reflect.DeepEqual(gotRep.Async, wantRep.Async) {
+						t.Fatalf("%s tsdev=%v w=%d: per-instruction report diverges", family, tsdev, workers)
+					}
+					if !reflect.DeepEqual(gotRep.Model, wantRep.Model) {
+						t.Fatalf("%s tsdev=%v w=%d: model diverges", family, tsdev, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForceInferenceParity checks the ForceInference path (recorded
+// latencies hidden from decomposition) matches sequentially.
+func TestForceInferenceParity(t *testing.T) {
+	opts := core.Options{ForceInference: true}
+	old := genOld(t, "ikki", 2000, true)
+	wantTrace, _, err := core.Reconstruct(old, device.NewArray(device.DefaultArrayConfig()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(testConfig(4, opts))
+	gotTrace, _, err := e.Reconstruct(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, gotTrace), traceBytes(t, wantTrace)) {
+		t.Fatal("ForceInference engine output diverges from sequential")
+	}
+}
+
+// TestNonShardSafeFallback checks that a device without shard-safe
+// emulation routes through the sequential pipeline (and still agrees
+// with it, trivially).
+func TestNonShardSafeFallback(t *testing.T) {
+	old := genOld(t, "ikki", 600, true)
+	mk := func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }
+	want, _, err := core.Reconstruct(old, mk(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(4, core.Options{})
+	cfg.Device = mk
+	got, _, err := New(cfg).Reconstruct(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, got), traceBytes(t, want)) {
+		t.Fatal("fallback output diverges")
+	}
+}
+
+// TestStreamMatchesInMemory checks the streaming path (decode →
+// shard → encode) produces the same CSV bytes as encoding the
+// in-memory engine result, on both latency paths.
+func TestStreamMatchesInMemory(t *testing.T) {
+	for _, tsdev := range []bool{true, false} {
+		old := genOld(t, "MSNFS", 3000, tsdev)
+		e := New(testConfig(4, core.Options{}))
+		outTrace, rep, err := e.Reconstruct(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := trace.WriteCSV(&want, outTrace); err != nil {
+			t.Fatal(err)
+		}
+
+		// Binary input preserves exact nanosecond timestamps (CSV would
+		// quantize to the µs-fraction text form and legitimately change
+		// the reconstruction).
+		var input bytes.Buffer
+		if err := trace.WriteBinary(&input, old); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		srep, err := e.ReconstructStream(
+			trace.NewBinaryDecoder(bytes.NewReader(input.Bytes())),
+			trace.NewCSVEncoder(&got),
+			rep.Model,
+		)
+		if err != nil {
+			t.Fatalf("tsdev=%v: stream: %v", tsdev, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("tsdev=%v: streaming output diverges from in-memory engine", tsdev)
+		}
+		if srep.Requests != int64(old.Len()) {
+			t.Fatalf("tsdev=%v: stream report requests %d want %d", tsdev, srep.Requests, old.Len())
+		}
+		if srep.Shards < 2 {
+			t.Fatalf("tsdev=%v: expected multiple shards, got %d", tsdev, srep.Shards)
+		}
+		if srep.IdleCount == 0 {
+			t.Fatalf("tsdev=%v: stream report lost idle aggregates", tsdev)
+		}
+	}
+}
+
+// TestFitModelMatchesEstimate checks pass-one streaming model fitting
+// equals the in-memory fit the engine/core use.
+func TestFitModelMatchesEstimate(t *testing.T) {
+	old := genOld(t, "ikki", 3000, false)
+	_, rep, err := New(testConfig(2, core.Options{})).Reconstruct(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var input bytes.Buffer
+	if err := trace.WriteBinary(&input, old); err != nil {
+		t.Fatal(err)
+	}
+	m, n, err := FitModel(trace.NewBinaryDecoder(bytes.NewReader(input.Bytes())), core.Options{}.Estimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != old.Len() {
+		t.Fatalf("fit saw %d requests, want %d", n, old.Len())
+	}
+	if !reflect.DeepEqual(m, rep.Model) {
+		t.Fatalf("streamed model differs:\n got %+v\nwant %+v", m, rep.Model)
+	}
+}
+
+// TestStreamErrors checks the planner's validation and the model
+// requirement surface as errors.
+func TestStreamErrors(t *testing.T) {
+	e := New(testConfig(2, core.Options{}))
+	// Unsorted input.
+	unsorted := "# tracetracker name=x workload=w set=S tsdev_known=true\n" +
+		"10.000,0,100,8,R,5.000,0\n" +
+		"1.000,0,200,8,R,5.000,0\n"
+	_, err := e.ReconstructStream(trace.NewCSVDecoder(strings.NewReader(unsorted)), trace.NewCSVEncoder(io.Discard), nil)
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("unsorted input: got %v", err)
+	}
+	// Missing model on an inference-path trace.
+	nomodel := "# tracetracker name=x workload=w set=S tsdev_known=false\n" +
+		"1.000,0,100,8,R,0.000,0\n"
+	_, err = e.ReconstructStream(trace.NewCSVDecoder(strings.NewReader(nomodel)), trace.NewCSVEncoder(io.Discard), nil)
+	if err != ErrModelRequired {
+		t.Fatalf("missing model: got %v", err)
+	}
+	// Zero-size request.
+	zero := "# tracetracker name=x workload=w set=S tsdev_known=true\n" +
+		"1.000,0,100,0,R,5.000,0\n"
+	_, err = e.ReconstructStream(trace.NewCSVDecoder(strings.NewReader(zero)), trace.NewCSVEncoder(io.Discard), nil)
+	if err == nil || !strings.Contains(err.Error(), "zero sectors") {
+		t.Fatalf("zero sectors: got %v", err)
+	}
+}
+
+// failingEncoder errors on the first Write, simulating a full disk.
+type failingEncoder struct{ writes int }
+
+func (f *failingEncoder) Begin(trace.Meta) error { return nil }
+func (f *failingEncoder) Write(trace.Request) error {
+	f.writes++
+	return io.ErrShortWrite
+}
+func (f *failingEncoder) Close() error { return nil }
+
+// TestStreamEmitErrorAborts checks an output error surfaces as the
+// run's error and stops the pipeline instead of silently draining the
+// whole input.
+func TestStreamEmitErrorAborts(t *testing.T) {
+	old := genOld(t, "ikki", 2000, true)
+	var input bytes.Buffer
+	if err := trace.WriteBinary(&input, old); err != nil {
+		t.Fatal(err)
+	}
+	e := New(testConfig(4, core.Options{}))
+	enc := &failingEncoder{}
+	_, err := e.ReconstructStream(trace.NewBinaryDecoder(bytes.NewReader(input.Bytes())), enc, nil)
+	if err != io.ErrShortWrite {
+		t.Fatalf("want the encoder's error, got %v", err)
+	}
+	if enc.writes != 1 {
+		t.Fatalf("encoder written %d times after failing, want 1", enc.writes)
+	}
+}
+
+// TestEmptyStream checks an empty input is rejected like the
+// in-memory path's Validate (a broken corpus must not record as a
+// successful reconstruction).
+func TestEmptyStream(t *testing.T) {
+	e := New(testConfig(2, core.Options{}))
+	var out bytes.Buffer
+	_, err := e.ReconstructStream(trace.NewCSVDecoder(strings.NewReader("")), trace.NewCSVEncoder(&out), nil)
+	if !errors.Is(err, trace.ErrNoRequest) {
+		t.Fatalf("want ErrNoRequest, got %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("rejected empty stream still wrote output")
+	}
+}
+
+// TestPlanSliceCoverage checks shards partition the trace exactly and
+// carries line up.
+func TestPlanSliceCoverage(t *testing.T) {
+	old := genOld(t, "ikki", 2000, true)
+	cfg := testConfig(4, core.Options{}).withDefaults()
+	shards := planSlice(cfg, old)
+	if len(shards) < 2 {
+		t.Fatalf("want multiple shards, got %d", len(shards))
+	}
+	total := 0
+	for i, s := range shards {
+		if s.index != i {
+			t.Fatalf("shard %d has index %d", i, s.index)
+		}
+		if len(s.reqs) == 0 || len(s.seq) != len(s.reqs) {
+			t.Fatalf("shard %d malformed", i)
+		}
+		if i > 0 {
+			if !s.hasPrev {
+				t.Fatalf("shard %d missing prev carry", i)
+			}
+			prevShard := shards[i-1]
+			if s.prev != prevShard.reqs[len(prevShard.reqs)-1] {
+				t.Fatalf("shard %d prev carry mismatch", i)
+			}
+			if !prevShard.hasNext || prevShard.nextArrival != s.reqs[0].Arrival {
+				t.Fatalf("shard %d next carry mismatch", i)
+			}
+		}
+		total += len(s.reqs)
+	}
+	if total != old.Len() {
+		t.Fatalf("shards cover %d requests, want %d", total, old.Len())
+	}
+	if shards[len(shards)-1].hasNext {
+		t.Fatal("final shard claims a next arrival")
+	}
+}
+
+// TestStreamPlannerMatchesPlanSlice checks both planners cut at the
+// same points.
+func TestStreamPlannerMatchesPlanSlice(t *testing.T) {
+	old := genOld(t, "Exchange", 1500, true)
+	cfg := testConfig(4, core.Options{}).withDefaults()
+	want := planSlice(cfg, old)
+	p := newStreamPlanner(cfg)
+	var got []shard
+	for _, r := range old.Requests {
+		done, err := p.add(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != nil {
+			got = append(got, *done)
+		}
+	}
+	if last := p.finish(); last != nil {
+		got = append(got, *last)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shard count: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].reqs, want[i].reqs) {
+			t.Fatalf("shard %d requests differ", i)
+		}
+		if !reflect.DeepEqual(got[i].seq, want[i].seq) {
+			t.Fatalf("shard %d seq flags differ", i)
+		}
+		if got[i].hasPrev != want[i].hasPrev || got[i].prev != want[i].prev || got[i].prevSeq != want[i].prevSeq {
+			t.Fatalf("shard %d prev carry differs", i)
+		}
+		if got[i].hasNext != want[i].hasNext || got[i].nextArrival != want[i].nextArrival {
+			t.Fatalf("shard %d next carry differs", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// errAborted is the sentinel a submit callback returns once an emit
+// error has stopped the run; execute never surfaces it (the emit
+// error is the root cause).
+var errAborted = errors.New("engine: run aborted by output error")
+
+// shardResult is the reconstruction of one shard in shard-relative
+// time, plus the chaining values the merger needs.
+type shardResult struct {
+	index int
+	reqs  []trace.Request
+	idle  []time.Duration
+	async []bool
+	// end is the completion time of the shard's last instruction,
+	// relative to the shard base: the next shard's base increment.
+	end time.Duration
+	// shiftDelta is the post-processing arrival reduction accumulated
+	// within the shard: the next shard's shift increment.
+	shiftDelta time.Duration
+
+	idleCount  int
+	idleTotal  time.Duration
+	asyncCount int
+}
+
+// runShard executes the full per-shard pipeline: decomposition with
+// carry context, emulation on a drained device from time zero, and
+// local post-processing.
+func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device.Device) shardResult {
+	ctx := infer.ShardContext{
+		TsdevKnown:  useRecorded,
+		Seq:         s.seq,
+		HasNext:     s.hasNext,
+		NextArrival: s.nextArrival,
+	}
+	if s.hasPrev {
+		ctx.Prev = &s.prev
+		ctx.PrevSeq = s.prevSeq
+	}
+	var (
+		idle  []time.Duration
+		async []bool
+		out   []trace.Request
+		end   time.Duration
+	)
+	if s.dst != nil {
+		idle, async = s.dstIdle, s.dstAsync
+		infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
+		end = replay.EmulateShardInto(s.dst, s.reqs, dev, idle)
+		out = s.dst
+	} else {
+		idle, async = infer.DecomposeShard(m, s.reqs, ctx)
+		out, end = replay.EmulateShard(s.reqs, dev, idle)
+	}
+	res := shardResult{
+		index: s.index,
+		reqs:  out,
+		idle:  idle,
+		async: async,
+		end:   end,
+	}
+	if !e.cfg.Core.SkipPostProcess {
+		res.shiftDelta = core.PostProcessShard(out, async, 0)
+	}
+	for _, d := range idle {
+		if d > 0 {
+			res.idleCount++
+			res.idleTotal += d
+		}
+	}
+	for _, a := range async {
+		if a {
+			res.asyncCount++
+		}
+	}
+	return res
+}
+
+// execute runs the shard pipeline: produce is called on its own
+// goroutine and submits shards in index order via the callback it is
+// handed; cfg.Workers executors reconstruct them concurrently; emit
+// receives each result in shard order together with the offset to add
+// to every arrival to place it on the global timeline (shard base
+// minus accumulated post-processing shift).
+//
+// In-flight shards are bounded by a token pool, so streaming runs hold
+// only O(Workers · MaxShardRequests) requests in memory no matter how
+// unbalanced the shard durations are. A produce error ends submission
+// at that point; an emit error additionally signals the producer to
+// stop, so a failed output stream does not keep decoding and
+// reconstructing the rest of the input. Residual in-flight shards are
+// drained, not emitted.
+func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, emit func(res shardResult, offset time.Duration) error) error {
+	workers := e.cfg.Workers
+	shardCh := make(chan shard, workers)
+	results := make(chan shardResult, workers)
+	tokens := make(chan struct{}, 4*workers)
+	stop := make(chan struct{})
+
+	var produceErr error
+	go func() {
+		defer close(shardCh)
+		produceErr = produce(func(s shard) error {
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return errAborted
+			}
+			select {
+			case shardCh <- s:
+			case <-stop:
+				return errAborted
+			}
+			return nil
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := e.cfg.Device()
+			for s := range shardCh {
+				s := s
+				results <- e.runShard(&s, m, useRecorded, dev)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var emitErr error
+	pending := make(map[int]shardResult)
+	next := 0
+	var base, shift time.Duration
+	for res := range results {
+		pending[res.index] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if emitErr == nil {
+				if err := emit(r, base-shift); err != nil {
+					emitErr = err
+					close(stop)
+				}
+			}
+			base += r.end
+			shift += r.shiftDelta
+			next++
+			<-tokens
+		}
+	}
+	if produceErr != nil && produceErr != errAborted {
+		return produceErr
+	}
+	return emitErr
+}

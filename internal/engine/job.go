@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/trace"
+)
+
+// DefaultReorderWindow is the bounded arrival-sort window streaming
+// jobs apply to near-sorted corpora (msrc/spc inputs).
+const DefaultReorderWindow = 1 << 16
+
+// JobSpec describes one batch reconstruction: the JSON body
+// tracetrackerd accepts and the unit of work RunJob executes.
+type JobSpec struct {
+	// Name labels the job (defaults to the input path).
+	Name string `json:"name,omitempty"`
+	// In is the input trace path; InFormat one of csv, bin, msrc, spc.
+	In       string `json:"in"`
+	InFormat string `json:"informat,omitempty"`
+	// Out is the output path; empty keeps the result in memory for the
+	// result endpoint. OutFormat one of csv, bin, blktrace, fio.
+	Out       string `json:"out,omitempty"`
+	OutFormat string `json:"outformat,omitempty"`
+	// FIODevice is the replay target embedded in fio output.
+	FIODevice string `json:"fio_device,omitempty"`
+	// Method is one of tracetracker (default), dynamic, fixed-th,
+	// revision, acceleration.
+	Method string `json:"method,omitempty"`
+	// Factor is the acceleration divisor (acceleration method).
+	Factor float64 `json:"factor,omitempty"`
+	// ThresholdUS is the fixed-th idle threshold in microseconds.
+	ThresholdUS float64 `json:"threshold_us,omitempty"`
+	// Parallel overrides the engine worker count (0 = engine default).
+	Parallel int `json:"parallel,omitempty"`
+	// Stream selects the bounded-memory streaming path (requires In
+	// and Out paths; tracetracker/dynamic methods only).
+	Stream bool `json:"stream,omitempty"`
+	// ReorderWindow bounds the streaming arrival sort (0 = default for
+	// msrc/spc inputs, 1 = none).
+	ReorderWindow int `json:"reorder_window,omitempty"`
+}
+
+// Normalized returns the spec with all defaults applied — the form
+// RunJob executes and servers should persist, so later consumers (for
+// example a result endpoint re-encoding an in-memory trace) see the
+// same effective values RunJob used.
+func (s JobSpec) Normalized() JobSpec { return s.withDefaults() }
+
+func (s JobSpec) withDefaults() JobSpec {
+	if s.InFormat == "" {
+		s.InFormat = "csv"
+	}
+	if s.OutFormat == "" {
+		s.OutFormat = "csv"
+	}
+	if s.Method == "" {
+		s.Method = "tracetracker"
+	}
+	if s.Name == "" {
+		s.Name = s.In
+	}
+	if s.FIODevice == "" {
+		s.FIODevice = "/dev/nvme0n1"
+	}
+	if s.Factor == 0 {
+		s.Factor = baseline.DefaultAccelerationFactor
+	}
+	if s.ThresholdUS == 0 {
+		s.ThresholdUS = float64(baseline.DefaultFixedThreshold) / float64(time.Microsecond)
+	}
+	if s.ReorderWindow == 0 && trace.NeedsSort(s.InFormat) {
+		s.ReorderWindow = DefaultReorderWindow
+	}
+	return s
+}
+
+// Validate rejects specs RunJob cannot execute. Call it on a
+// Normalized spec — normalization is the single place defaults are
+// applied.
+func (s JobSpec) Validate() error {
+	if s.In == "" {
+		return fmt.Errorf("engine: job needs an input path")
+	}
+	switch s.InFormat {
+	case "csv", "bin", "msrc", "spc":
+	default:
+		return fmt.Errorf("engine: unknown input format %q", s.InFormat)
+	}
+	switch s.OutFormat {
+	case "csv", "bin", "blktrace", "fio":
+	default:
+		return fmt.Errorf("engine: unknown output format %q", s.OutFormat)
+	}
+	switch s.Method {
+	case "tracetracker", "dynamic", "fixed-th", "revision", "acceleration":
+	default:
+		return fmt.Errorf("engine: unknown method %q", s.Method)
+	}
+	if s.Stream {
+		if s.Method != "tracetracker" && s.Method != "dynamic" {
+			return fmt.Errorf("engine: streaming supports the tracetracker/dynamic methods, not %q", s.Method)
+		}
+		if s.Out == "" {
+			return fmt.Errorf("engine: streaming jobs need an output path")
+		}
+	}
+	return nil
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// Report carries engine diagnostics (nil for baseline methods).
+	Report *Report
+	// OutPath is where the output was written ("" if held in memory).
+	OutPath string
+	// Trace is the in-memory result when no output path was given.
+	Trace *trace.Trace
+}
+
+// RunJob executes one batch reconstruction with cfg as the engine
+// base configuration (the spec's Parallel overrides its Workers).
+func RunJob(cfg Config, spec JobSpec) (*JobResult, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Parallel > 0 {
+		cfg.Workers = spec.Parallel
+	}
+	switch spec.Method {
+	case "dynamic":
+		cfg.Core.SkipPostProcess = true
+	case "tracetracker":
+	default:
+		return runBaselineJob(cfg, spec)
+	}
+	eng := New(cfg)
+
+	if spec.Stream {
+		// Probe the input before touching the output, so a job with a
+		// bad input path cannot clobber an existing file.
+		if _, err := os.Stat(spec.In); err != nil {
+			return nil, err
+		}
+		var rep *Report
+		err := writeAtomically(spec.Out, func(out io.Writer) error {
+			enc, err := trace.NewEncoder(spec.OutFormat, out, spec.FIODevice)
+			if err != nil {
+				return err
+			}
+			rep, err = eng.ReconstructPath(spec.In, spec.InFormat, spec.ReorderWindow, enc)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Report: rep, OutPath: spec.Out}, nil
+	}
+
+	old, err := readTraceFile(spec.In, spec.InFormat)
+	if err != nil {
+		return nil, err
+	}
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("input: %w", err)
+	}
+	result, rep, err := eng.Reconstruct(old)
+	if err != nil {
+		return nil, err
+	}
+	return finishJob(spec, result, reportFromCore(rep, int64(result.Len()), eng.cfg.Workers))
+}
+
+// runBaselineJob executes the non-engine comparison methods (always
+// in memory and sequential — they exist for fidelity comparisons, not
+// throughput).
+func runBaselineJob(cfg Config, spec JobSpec) (*JobResult, error) {
+	old, err := readTraceFile(spec.In, spec.InFormat)
+	if err != nil {
+		return nil, err
+	}
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("input: %w", err)
+	}
+	var result *trace.Trace
+	switch spec.Method {
+	case "fixed-th":
+		result = baseline.FixedTh(old, cfg.withDefaults().Device(), time.Duration(spec.ThresholdUS*float64(time.Microsecond)))
+	case "revision":
+		result = baseline.Revision(old, cfg.withDefaults().Device())
+	case "acceleration":
+		result = baseline.Acceleration(old, spec.Factor)
+	}
+	return finishJob(spec, result, nil)
+}
+
+// finishJob writes or retains the result per the spec.
+func finishJob(spec JobSpec, result *trace.Trace, rep *Report) (*JobResult, error) {
+	if spec.Out == "" {
+		return &JobResult{Report: rep, Trace: result}, nil
+	}
+	err := writeAtomically(spec.Out, func(w io.Writer) error {
+		return writeTraceTo(w, spec.OutFormat, spec.FIODevice, result)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Report: rep, OutPath: spec.Out}, nil
+}
+
+// partialSeq disambiguates concurrent partial files within this
+// process; the pid handles other processes.
+var partialSeq atomic.Uint64
+
+// writeAtomically runs write against a uniquely named partial file
+// next to the target and renames it over the target only on success,
+// so a failed or interrupted job never truncates an existing output
+// and two jobs racing on the same output path cannot corrupt each
+// other (last rename wins whole). The partial is opened with the same
+// 0666-through-umask permissions os.Create gives a directly written
+// output.
+func writeAtomically(path string, write func(io.Writer) error) error {
+	partial := fmt.Sprintf("%s.partial-%d-%d", path, os.Getpid(), partialSeq.Add(1))
+	tmp, err := os.OpenFile(partial, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(partial)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(partial)
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(partial, path); err != nil {
+		os.Remove(partial)
+		return err
+	}
+	return nil
+}
+
+// readTraceFile materializes a whole trace from a file.
+func readTraceFile(path, format string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadFormat(format, f)
+}
+
+// writeTraceTo renders a whole trace in the named format.
+func writeTraceTo(w io.Writer, format, fioDevice string, t *trace.Trace) error {
+	enc, err := trace.NewEncoder(format, w, fioDevice)
+	if err != nil {
+		return err
+	}
+	return trace.EncodeTrace(enc, t)
+}

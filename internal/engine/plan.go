@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// shard is one epoch of the trace plus the carry state that makes its
+// reconstruction independent: the sequentiality flags of its requests
+// (computed against full-trace history), the request immediately
+// before it, and the arrival immediately after it.
+type shard struct {
+	index int
+	reqs  []trace.Request
+	seq   []bool
+
+	hasPrev bool
+	prev    trace.Request
+	prevSeq bool
+
+	hasNext     bool
+	nextArrival time.Duration
+
+	// dst, when set, points at this shard's slot in the merged output
+	// (and dstIdle/dstAsync at the report slots): the executor writes
+	// results in place instead of allocating per-shard buffers, so the
+	// in-memory merge copies nothing.
+	dst      []trace.Request
+	dstIdle  []time.Duration
+	dstAsync []bool
+}
+
+// shouldCut reports whether the planner cuts before a request that
+// arrives gap after the previous one, given the current shard length.
+func shouldCut(cfg Config, curLen int, gap time.Duration) bool {
+	if curLen >= cfg.MaxShardRequests {
+		return true
+	}
+	return curLen >= cfg.MinShardRequests && gap >= cfg.MinIdleGap
+}
+
+// planEach partitions a materialized trace into shards of slice views
+// (no request copying), handing each to emit as soon as it is cut so
+// planning overlaps with execution. Sequentiality flags are computed
+// incrementally along the scan.
+func planEach(cfg Config, t *trace.Trace, emit func(shard) error) error {
+	n := t.Len()
+	if n == 0 {
+		return nil
+	}
+	flags := make([]bool, n)
+	st := trace.NewSeqState()
+	flags[0] = st.Flag(t.Requests[0])
+	index := 0
+	lo := 0
+	for i := 1; i <= n; i++ {
+		atEnd := i == n
+		if !atEnd {
+			flags[i] = st.Flag(t.Requests[i])
+			if !shouldCut(cfg, i-lo, t.Requests[i].Arrival-t.Requests[i-1].Arrival) {
+				continue
+			}
+		}
+		s := shard{
+			index: index,
+			reqs:  t.Requests[lo:i],
+			seq:   flags[lo:i],
+		}
+		if lo > 0 {
+			s.hasPrev = true
+			s.prev = t.Requests[lo-1]
+			s.prevSeq = flags[lo-1]
+		}
+		if !atEnd {
+			s.hasNext = true
+			s.nextArrival = t.Requests[i].Arrival
+		}
+		if err := emit(s); err != nil {
+			return err
+		}
+		index++
+		lo = i
+	}
+	return nil
+}
+
+// planSlice collects planEach's shards (test and inspection helper).
+func planSlice(cfg Config, t *trace.Trace) []shard {
+	var shards []shard
+	planEach(cfg, t, func(s shard) error {
+		shards = append(shards, s)
+		return nil
+	})
+	return shards
+}
+
+// streamPlanner builds shards incrementally from a request stream,
+// owning each shard's buffer. It also validates the invariants the
+// pipeline relies on (trace.Validate equivalents) as it goes.
+type streamPlanner struct {
+	cfg   Config
+	seq   *trace.SeqState
+	cur   shard
+	count int64
+	index int
+}
+
+func newStreamPlanner(cfg Config) *streamPlanner {
+	return &streamPlanner{cfg: cfg, seq: trace.NewSeqState()}
+}
+
+// add consumes the next request. When it opens a new epoch, the
+// completed previous shard is returned.
+func (p *streamPlanner) add(r trace.Request) (*shard, error) {
+	if r.Sectors == 0 {
+		return nil, fmt.Errorf("%w (index %d)", trace.ErrZeroSize, p.count)
+	}
+	var done *shard
+	if n := len(p.cur.reqs); n > 0 {
+		last := p.cur.reqs[n-1]
+		gap := r.Arrival - last.Arrival
+		if gap < 0 {
+			return nil, fmt.Errorf("%w (index %d); widen the reorder window for near-sorted corpora", trace.ErrUnsorted, p.count)
+		}
+		if shouldCut(p.cfg, n, gap) {
+			finished := p.cur
+			finished.hasNext = true
+			finished.nextArrival = r.Arrival
+			done = &finished
+			p.index++
+			p.cur = shard{
+				index:   p.index,
+				hasPrev: true,
+				prev:    last,
+				prevSeq: finished.seq[n-1],
+			}
+		}
+	}
+	p.cur.reqs = append(p.cur.reqs, r)
+	p.cur.seq = append(p.cur.seq, p.seq.Flag(r))
+	p.count++
+	return done, nil
+}
+
+// finish returns the trailing shard, if any.
+func (p *streamPlanner) finish() *shard {
+	if len(p.cur.reqs) == 0 {
+		return nil
+	}
+	last := p.cur
+	p.cur = shard{}
+	return &last
+}

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/trace"
+)
+
+// ErrModelRequired is returned by ReconstructStream when the input
+// needs the inference model (no recorded latencies, or ForceInference)
+// but none was supplied. Fit one with FitModel, or use ReconstructPath
+// which orchestrates the two passes.
+var ErrModelRequired = errors.New("engine: input requires an inference model; fit one with FitModel")
+
+// FitModel runs the global model fit over a request stream with the
+// incremental classifier, returning the fitted model and the number of
+// requests seen. This is pass one of a streaming reconstruction for
+// corpora without recorded latencies. The classifier retains one
+// inter-arrival sample (~8 bytes) per request — far below
+// materializing the trace, but still O(n); truly bounded streaming is
+// only possible for Tsdev-known corpora, which skip this pass.
+func FitModel(dec trace.Decoder, opts infer.EstimateOptions) (*infer.Model, int, error) {
+	c := infer.NewStreamClassifier()
+	for {
+		r, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, c.N(), err
+		}
+		c.Add(r)
+	}
+	m, err := infer.EstimateGrouping(c.Grouping(), dec.Meta().Name, opts)
+	return m, c.N(), err
+}
+
+// ReconstructStream runs the sharded reconstruction over a request
+// stream, writing the reconstructed trace to enc (Begin through Close;
+// the underlying writer stays open) with bounded memory: at most
+// O(Workers · MaxShardRequests) requests are resident. (Fitting the
+// model beforehand has its own footprint — see FitModel.) m is the
+// pre-fitted inference model; it may be nil when the stream records
+// latencies (Tsdev-known) and ForceInference is off, and is ignored on
+// that recorded path just like the sequential pipeline ignores it.
+//
+// The input must be non-decreasing in arrival (wrap near-sorted
+// corpora in a trace.ReorderDecoder) with non-zero request sizes; the
+// planner rejects violations. Devices without shard-safe emulation
+// fall back to materializing the stream and running sequentially.
+func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infer.Model) (*Report, error) {
+	if dev := e.cfg.Device(); !device.IsShardSafe(dev) {
+		return e.streamFallback(dec, enc, dev)
+	}
+
+	rep := &Report{Workers: e.cfg.Workers}
+	first, err := dec.Next()
+	if err == io.EOF {
+		// Consistent with the in-memory path's Validate: an empty
+		// input is a broken corpus, not a successful reconstruction.
+		return nil, fmt.Errorf("input: %w", trace.ErrNoRequest)
+	}
+	if err != nil {
+		return nil, err
+	}
+	meta := dec.Meta()
+	outMeta := meta
+	outMeta.TsdevKnown = true // emulation records new device times
+
+	useRecorded := meta.TsdevKnown && !e.cfg.Core.ForceInference
+	if useRecorded {
+		// Parity with the sequential pipeline: the recorded-latency
+		// path never consults a model.
+		m = nil
+	} else if m == nil {
+		return nil, ErrModelRequired
+	}
+	rep.Model = m
+
+	planner := newStreamPlanner(e.cfg)
+	produce := func(submit func(shard) error) error {
+		r := first
+		for {
+			done, err := planner.add(r)
+			if err != nil {
+				return err
+			}
+			if done != nil {
+				if err := submit(*done); err != nil {
+					return err
+				}
+			}
+			r, err = dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if last := planner.finish(); last != nil {
+			return submit(*last)
+		}
+		return nil
+	}
+
+	begun := false
+	emit := func(res shardResult, offset time.Duration) error {
+		if !begun {
+			begun = true
+			if err := enc.Begin(outMeta); err != nil {
+				return err
+			}
+		}
+		for i := range res.reqs {
+			res.reqs[i].Arrival += offset
+			if err := enc.Write(res.reqs[i]); err != nil {
+				return err
+			}
+		}
+		rep.Requests += int64(len(res.reqs))
+		rep.Shards++
+		rep.IdleCount += res.idleCount
+		rep.IdleTotal += res.idleTotal
+		rep.AsyncCount += res.asyncCount
+		return nil
+	}
+	if err := e.execute(produce, m, useRecorded, emit); err != nil {
+		return nil, err
+	}
+	return rep, enc.Close()
+}
+
+// streamFallback materializes the stream and runs the sequential
+// pipeline, for devices without shard-safe emulation.
+func (e *Engine) streamFallback(dec trace.Decoder, enc trace.Encoder, dev device.Device) (*Report, error) {
+	old, err := trace.Drain(dec)
+	if err != nil {
+		return nil, err
+	}
+	if err := old.Validate(); err != nil {
+		return nil, err
+	}
+	out, rep, err := core.Reconstruct(old, dev, e.cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.EncodeTrace(enc, out); err != nil {
+		return nil, err
+	}
+	return reportFromCore(rep, int64(out.Len()), 1), nil
+}
+
+// reportFromCore projects a core.Report onto the engine's aggregate
+// report.
+func reportFromCore(rep *core.Report, requests int64, workers int) *Report {
+	return &Report{
+		Model:      rep.Model,
+		Requests:   requests,
+		Shards:     rep.Shards,
+		Workers:    workers,
+		IdleCount:  rep.IdleCount,
+		IdleTotal:  rep.IdleTotal,
+		AsyncCount: rep.AsyncCount,
+	}
+}
+
+// ReconstructPath orchestrates a whole streaming reconstruction from
+// an input file: pass one fits the model if the corpus needs it, pass
+// two streams the sharded reconstruction into enc. reorderWindow
+// (<= 1 = none) inserts a bounded arrival-sort window, which the
+// near-sorted event-traced corpora (msrc) need.
+func (e *Engine) ReconstructPath(inPath, informat string, reorderWindow int, enc trace.Encoder) (*Report, error) {
+	m, err := e.fitModelFromPath(inPath, informat, reorderWindow)
+	if err != nil {
+		return nil, err
+	}
+	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow)
+	if err != nil {
+		return nil, err
+	}
+	defer closeDec()
+	return e.ReconstructStream(dec, enc, m)
+}
+
+// fitModelFromPath is pass one of ReconstructPath: a cheap probe of
+// the first record decides whether the corpus needs inference, and if
+// so the input is re-opened and fitted with FitModel.
+func (e *Engine) fitModelFromPath(inPath, informat string, reorderWindow int) (*infer.Model, error) {
+	// The probe only needs the header metadata, which doesn't depend
+	// on record order — skip the reorder window so it doesn't buffer
+	// a whole window of requests to answer a one-record question.
+	probe, closeProbe, err := openDecoder(inPath, informat, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, err = probe.Next()
+	needModel := !probe.Meta().TsdevKnown || e.cfg.Core.ForceInference
+	closeProbe()
+	if err == io.EOF {
+		return nil, nil // empty input: pass two reports ErrNoRequest
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !needModel {
+		return nil, nil
+	}
+	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow)
+	if err != nil {
+		return nil, err
+	}
+	defer closeDec()
+	m, _, err := FitModel(dec, e.cfg.Core.Estimate)
+	return m, err
+}
+
+// openDecoder opens a format decoder over a file, optionally wrapped
+// in a reorder window.
+func openDecoder(path, format string, reorderWindow int) (trace.Decoder, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := trace.NewDecoder(format, f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if reorderWindow > 1 {
+		dec = trace.NewReorderDecoder(dec, reorderWindow)
+	}
+	return dec, func() { f.Close() }, nil
+}

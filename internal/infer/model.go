@@ -67,14 +67,19 @@ var ErrTooSparse = errors.New("infer: trace too sparse for inference")
 // from the steepest graph's rise location, and Tmovd from the steepest
 // random-access graph.
 func Estimate(t *trace.Trace, opts EstimateOptions) (*Model, error) {
+	return EstimateGrouping(Classify(t), t.Name, opts)
+}
+
+// EstimateGrouping fits the model from a pre-built classification
+// (either Classify's or a StreamClassifier's). name labels errors.
+func EstimateGrouping(g *Grouping, name string, opts EstimateOptions) (*Model, error) {
 	opts = opts.withDefaults()
-	g := Classify(t)
 	m := &Model{FlatReadMicros: -1, FlatWriteMicros: -1}
 
 	okRead := estimateOp(m, g, trace.Read, opts)
 	okWrite := estimateOp(m, g, trace.Write, opts)
 	if !okRead && !okWrite {
-		return nil, fmt.Errorf("%w: %q", ErrTooSparse, t.Name)
+		return nil, fmt.Errorf("%w: %q", ErrTooSparse, name)
 	}
 	// A missing op inherits the other's parameters: the best available
 	// estimate when a workload is effectively read-only or write-only.
@@ -321,30 +326,8 @@ func (m *Model) Tslat(op trace.Op, sectors uint32, seq bool) time.Duration {
 // Tslat (the paper's "skip the Tsdev inference phase" path); m may then
 // be nil.
 func Decompose(m *Model, t *trace.Trace) (idle []time.Duration, async []bool) {
-	n := len(t.Requests)
-	idle = make([]time.Duration, n)
-	async = make([]bool, n)
-	if n == 0 {
-		return idle, async
-	}
-	seq := t.SeqFlags()
-	for i := 0; i+1 < n; i++ {
-		r := t.Requests[i]
-		intt := t.Requests[i+1].Arrival - r.Arrival
-		var slat, sdev time.Duration
-		if t.TsdevKnown && r.Latency > 0 {
-			slat = r.Latency
-			sdev = r.Latency
-		} else if m != nil {
-			slat = m.Tslat(r.Op, r.Sectors, seq[i])
-			sdev = time.Duration(m.TsdevMicros(r.Op, r.Sectors, seq[i]) * float64(time.Microsecond))
-		}
-		if intt > slat {
-			idle[i+1] = intt - slat
-		}
-		if intt < sdev {
-			async[i] = true
-		}
-	}
-	return idle, async
+	return DecomposeShard(m, t.Requests, ShardContext{
+		TsdevKnown: t.TsdevKnown,
+		Seq:        t.SeqFlags(),
+	})
 }

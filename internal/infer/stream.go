@@ -1,0 +1,136 @@
+package infer
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// StreamClassifier builds a Grouping incrementally from a request
+// stream, so the Section III model can be fitted without materializing
+// the trace. Feeding every request of a trace in order produces the
+// same groups (keys and inter-arrival samples) as Classify; only the
+// per-sample trace indices are omitted, which the estimator never
+// consults.
+type StreamClassifier struct {
+	groups  map[GroupKey]*Group
+	seq     *trace.SeqState
+	prev    trace.Request
+	prevSeq bool
+	have    bool
+	n       int
+}
+
+// NewStreamClassifier returns an empty incremental classifier.
+func NewStreamClassifier() *StreamClassifier {
+	return &StreamClassifier{
+		groups: make(map[GroupKey]*Group),
+		seq:    trace.NewSeqState(),
+	}
+}
+
+// Add presents the next request of the trace (in arrival order).
+func (c *StreamClassifier) Add(r trace.Request) {
+	if c.have {
+		k := GroupKey{Seq: c.prevSeq, Op: c.prev.Op, Sectors: c.prev.Sectors}
+		grp := c.groups[k]
+		if grp == nil {
+			grp = &Group{Key: k}
+			c.groups[k] = grp
+		}
+		intt := float64(r.Arrival-c.prev.Arrival) / float64(time.Microsecond)
+		grp.InttMicros = append(grp.InttMicros, intt)
+	}
+	c.prevSeq = c.seq.Flag(r)
+	c.prev = r
+	c.have = true
+	c.n++
+}
+
+// N returns the number of requests seen.
+func (c *StreamClassifier) N() int { return c.n }
+
+// Grouping returns the classification accumulated so far.
+func (c *StreamClassifier) Grouping() *Grouping {
+	return &Grouping{Groups: c.groups}
+}
+
+// ShardContext carries the cross-boundary state DecomposeShard needs
+// to reproduce the whole-trace decomposition on a sub-range: the
+// request immediately before the shard (with its sequentiality flag),
+// the arrival immediately after it, and the shard's own flags.
+type ShardContext struct {
+	// TsdevKnown selects recorded per-request latencies over the model
+	// (the whole-trace path's effective t.TsdevKnown).
+	TsdevKnown bool
+	// Seq[i] is the sequentiality flag of shard request i, computed
+	// against the full-trace history (trace.SeqState carried across
+	// shards).
+	Seq []bool
+	// Prev is the last request before the shard, nil for the first
+	// shard; PrevSeq is its flag.
+	Prev    *trace.Request
+	PrevSeq bool
+	// HasNext reports whether a request follows the shard; NextArrival
+	// is its arrival time.
+	HasNext     bool
+	NextArrival time.Duration
+}
+
+// DecomposeShard computes the per-instruction decomposition of one
+// shard of a trace. With a context describing the full trace (nil
+// Prev, no Next, whole-trace Seq) it is exactly Decompose; with carry
+// state from a shard planner the per-shard results concatenate to the
+// whole-trace result, which is what makes parallel reconstruction
+// byte-identical to the sequential pipeline.
+func DecomposeShard(m *Model, reqs []trace.Request, ctx ShardContext) (idle []time.Duration, async []bool) {
+	idle = make([]time.Duration, len(reqs))
+	async = make([]bool, len(reqs))
+	DecomposeShardInto(idle, async, m, reqs, ctx)
+	return idle, async
+}
+
+// DecomposeShardInto is DecomposeShard writing into caller-provided
+// slices (len == len(reqs)), so a parallel engine can fill its merged
+// report slots without per-shard allocations.
+func DecomposeShardInto(idle []time.Duration, async []bool, m *Model, reqs []trace.Request, ctx ShardContext) {
+	n := len(reqs)
+	for i := range idle[:n] {
+		idle[i] = 0
+		async[i] = false
+	}
+	if n == 0 {
+		return
+	}
+	// pair evaluates the decomposition across one adjacent pair: r at
+	// trace order position i (seq flag rseq), followed by an arrival at
+	// next. It reports the idle preceding the follower and whether r
+	// was issued asynchronously.
+	pair := func(r trace.Request, rseq bool, next time.Duration) (time.Duration, bool) {
+		intt := next - r.Arrival
+		var slat, sdev time.Duration
+		if ctx.TsdevKnown && r.Latency > 0 {
+			slat = r.Latency
+			sdev = r.Latency
+		} else if m != nil {
+			slat = m.Tslat(r.Op, r.Sectors, rseq)
+			sdev = time.Duration(m.TsdevMicros(r.Op, r.Sectors, rseq) * float64(time.Microsecond))
+		}
+		var id time.Duration
+		if intt > slat {
+			id = intt - slat
+		}
+		return id, intt < sdev
+	}
+	if ctx.Prev != nil {
+		idle[0], _ = pair(*ctx.Prev, ctx.PrevSeq, reqs[0].Arrival)
+	}
+	for i := 0; i+1 < n; i++ {
+		id, as := pair(reqs[i], ctx.Seq[i], reqs[i+1].Arrival)
+		idle[i+1] = id
+		async[i] = as
+	}
+	if ctx.HasNext {
+		_, async[n-1] = pair(reqs[n-1], ctx.Seq[n-1], ctx.NextArrival)
+	}
+}

@@ -130,15 +130,46 @@ func (r ExecResult) TotalThink() time.Duration {
 // Latency the new device times, exactly what blktrace would capture
 // underneath the block layer on the target node.
 func Emulate(old *trace.Trace, dev device.Device, idle []time.Duration) *trace.Trace {
-	dev.Reset()
 	out := &trace.Trace{
 		Name:       old.Name,
 		Workload:   old.Workload,
 		Set:        old.Set,
 		TsdevKnown: true,
 	}
+	out.Requests, _ = EmulateShard(old.Requests, dev, idle)
+	return out
+}
+
+// EmulateShard runs the emulation loop over one shard of instructions
+// in shard-relative time: the first request is placed at idle[0] past
+// virtual time zero, and the returned end time is the completion of
+// the last request. dev is Reset first, so each shard sees a drained
+// device.
+//
+// Because the loop is synchronous — every submission happens at or
+// after the previous completion, by which time all device busy state
+// has passed — a drained device's servicing is invariant under time
+// translation, and a shard emulated from zero equals the same span of
+// the whole-trace emulation shifted by the preceding shard's end time.
+// That invariance is what lets the parallel engine reproduce the
+// sequential pipeline byte for byte. It does not hold for devices
+// with cross-request positional state (see device.ShardSafe).
+func EmulateShard(reqs []trace.Request, dev device.Device, idle []time.Duration) ([]trace.Request, time.Duration) {
+	var out []trace.Request
+	if len(reqs) > 0 {
+		out = make([]trace.Request, len(reqs))
+	}
+	end := EmulateShardInto(out, reqs, dev, idle)
+	return out, end
+}
+
+// EmulateShardInto is EmulateShard writing into a caller-provided
+// destination (len(dst) == len(reqs)), so a parallel engine can place
+// shard results straight into the merged output without copying.
+func EmulateShardInto(dst, reqs []trace.Request, dev device.Device, idle []time.Duration) time.Duration {
+	dev.Reset()
 	now := time.Duration(0)
-	for i, r := range old.Requests {
+	for i, r := range reqs {
 		if idle != nil {
 			now += idle[i]
 		}
@@ -147,10 +178,10 @@ func Emulate(old *trace.Trace, dev device.Device, idle []time.Duration) *trace.T
 		res := dev.Submit(now, req)
 		req.Latency = res.Complete - now
 		req.Async = false // sync loop; post-processing restores mode
-		out.Requests = append(out.Requests, req)
+		dst[i] = req
 		now = res.Complete
 	}
-	return out
+	return now
 }
 
 // Accelerate reproduces the Acceleration baseline: it divides every

@@ -28,23 +28,7 @@ import (
 // recorded Latency emit only the D event, exactly like a capture that
 // missed completions.
 func WriteBlktrace(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	seq := 0
-	for _, r := range t.Requests {
-		seq++
-		rwbs := "R"
-		if r.Op == Write {
-			rwbs = "W"
-		}
-		fmt.Fprintf(bw, "8,%d    0 %8d %14.9f  0  D   %s %d + %d [%s]\n",
-			r.Device, seq, r.Arrival.Seconds(), rwbs, r.LBA, r.Sectors, t.Name)
-		if r.Latency > 0 {
-			seq++
-			fmt.Fprintf(bw, "8,%d    0 %8d %14.9f  0  C   %s %d + %d [0]\n",
-				r.Device, seq, (r.Arrival + r.Latency).Seconds(), rwbs, r.LBA, r.Sectors)
-		}
-	}
-	return bw.Flush()
+	return EncodeTrace(NewBlktraceEncoder(w), t)
 }
 
 // ReadBlktrace parses D/C event lines back into a trace: each D event

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"strconv"
@@ -21,51 +20,12 @@ import (
 
 // WriteCSV writes t in the native CSV format.
 func WriteCSV(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# tracetracker name=%s workload=%s set=%s tsdev_known=%v\n",
-		t.Name, t.Workload, t.Set, t.TsdevKnown)
-	fmt.Fprintln(bw, "# arrival_us,device,lba,sectors,op,latency_us,async")
-	for _, r := range t.Requests {
-		async := 0
-		if r.Async {
-			async = 1
-		}
-		fmt.Fprintf(bw, "%.3f,%d,%d,%d,%s,%.3f,%d\n",
-			micros(r.Arrival), r.Device, r.LBA, r.Sectors, r.Op, micros(r.Latency), async)
-	}
-	return bw.Flush()
+	return EncodeTrace(NewCSVEncoder(w), t)
 }
 
 // ReadCSV reads a trace in the native CSV format.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	t := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			parseHeaderComment(t, line)
-			continue
-		}
-		f := strings.Split(line, ",")
-		if len(f) != 7 {
-			return nil, fmt.Errorf("trace: line %d: want 7 fields, got %d", lineno, len(f))
-		}
-		req, err := parseNativeFields(f)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineno, err)
-		}
-		t.Requests = append(t.Requests, req)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return Drain(NewCSVDecoder(r))
 }
 
 func parseHeaderComment(t *Trace, line string) {
@@ -146,66 +106,8 @@ func fromMicros(us float64) time.Duration {
 // is at zero. Response times populate Latency and mark the trace
 // TsdevKnown.
 func ReadMSRC(r io.Reader) (*Trace, error) {
-	t := &Trace{Set: "MSRC", TsdevKnown: true}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var base int64
-	first := true
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		f := strings.Split(line, ",")
-		if len(f) != 7 {
-			return nil, fmt.Errorf("trace: msrc line %d: want 7 fields, got %d", lineno, len(f))
-		}
-		ts, err := strconv.ParseInt(f[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d timestamp: %w", lineno, err)
-		}
-		if first {
-			base = ts
-			t.Workload = f[1]
-			t.Name = f[1]
-			first = false
-		}
-		disk, err := strconv.ParseUint(f[2], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d disk: %w", lineno, err)
-		}
-		op, err := ParseOp(f[3])
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d: %w", lineno, err)
-		}
-		off, err := strconv.ParseUint(f[4], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d offset: %w", lineno, err)
-		}
-		size, err := strconv.ParseUint(f[5], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d size: %w", lineno, err)
-		}
-		resp, err := strconv.ParseInt(f[6], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: msrc line %d response: %w", lineno, err)
-		}
-		sectors := uint32((size + SectorSize - 1) / SectorSize)
-		if sectors == 0 {
-			sectors = 1
-		}
-		t.Requests = append(t.Requests, Request{
-			Arrival: time.Duration(ts-base) * 100, // 100ns ticks
-			Device:  uint32(disk),
-			LBA:     off / SectorSize,
-			Sectors: sectors,
-			Op:      op,
-			Latency: time.Duration(resp) * 100,
-		})
-	}
-	if err := sc.Err(); err != nil {
+	t, err := Drain(NewMSRCDecoder(r))
+	if err != nil {
 		return nil, err
 	}
 	t.Sort()
@@ -220,53 +122,8 @@ func ReadMSRC(r io.Reader) (*Trace, error) {
 // LBA is in sectors, Size in bytes, Opcode R/W, Timestamp fractional
 // seconds. No completion information is available (TsdevKnown=false).
 func ReadSPC(r io.Reader) (*Trace, error) {
-	t := &Trace{TsdevKnown: false}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		f := strings.Split(line, ",")
-		if len(f) < 5 {
-			return nil, fmt.Errorf("trace: spc line %d: want 5 fields, got %d", lineno, len(f))
-		}
-		asu, err := strconv.ParseUint(strings.TrimSpace(f[0]), 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: spc line %d asu: %w", lineno, err)
-		}
-		lba, err := strconv.ParseUint(strings.TrimSpace(f[1]), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: spc line %d lba: %w", lineno, err)
-		}
-		size, err := strconv.ParseUint(strings.TrimSpace(f[2]), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: spc line %d size: %w", lineno, err)
-		}
-		op, err := ParseOp(strings.TrimSpace(f[3]))
-		if err != nil {
-			return nil, fmt.Errorf("trace: spc line %d: %w", lineno, err)
-		}
-		sec, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: spc line %d timestamp: %w", lineno, err)
-		}
-		sectors := uint32((size + SectorSize - 1) / SectorSize)
-		if sectors == 0 {
-			sectors = 1
-		}
-		t.Requests = append(t.Requests, Request{
-			Arrival: time.Duration(sec * float64(time.Second)),
-			Device:  uint32(asu),
-			LBA:     lba,
-			Sectors: sectors,
-			Op:      op,
-		})
-	}
-	if err := sc.Err(); err != nil {
+	t, err := Drain(NewSPCDecoder(r))
+	if err != nil {
 		return nil, err
 	}
 	t.Sort()
@@ -282,107 +139,19 @@ var binaryMagic = [4]byte{'T', 'T', 'R', '1'}
 // to parse, which matters for the 577-trace corpus sweeps.
 func WriteBinary(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	if err := writeBinaryHeader(bw, t.Meta(), uint64(len(t.Requests))); err != nil {
 		return err
 	}
-	writeString := func(s string) {
-		var lenbuf [2]byte
-		binary.LittleEndian.PutUint16(lenbuf[:], uint16(len(s)))
-		bw.Write(lenbuf[:])
-		bw.WriteString(s)
-	}
-	writeString(t.Name)
-	writeString(t.Workload)
-	writeString(t.Set)
-	flags := byte(0)
-	if t.TsdevKnown {
-		flags |= 1
-	}
-	bw.WriteByte(flags)
-	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Requests)))
-	bw.Write(cnt[:])
-	var rec [34]byte
 	for _, r := range t.Requests {
-		binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
-		binary.LittleEndian.PutUint32(rec[8:], r.Device)
-		binary.LittleEndian.PutUint64(rec[12:], r.LBA)
-		binary.LittleEndian.PutUint32(rec[20:], r.Sectors)
-		rec[24] = byte(r.Op)
-		binary.LittleEndian.PutUint64(rec[25:], uint64(r.Latency))
-		if r.Async {
-			rec[33] = 1
-		} else {
-			rec[33] = 0
-		}
-		if _, err := bw.Write(rec[:]); err != nil {
+		if err := writeBinaryRecord(bw, r); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary reads a trace written by WriteBinary.
+// ReadBinary reads a trace written by WriteBinary or streamed by a
+// BinaryEncoder.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	readString := func() (string, error) {
-		var lenbuf [2]byte
-		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
-			return "", err
-		}
-		buf := make([]byte, binary.LittleEndian.Uint16(lenbuf[:]))
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	t := &Trace{}
-	var err error
-	if t.Name, err = readString(); err != nil {
-		return nil, err
-	}
-	if t.Workload, err = readString(); err != nil {
-		return nil, err
-	}
-	if t.Set, err = readString(); err != nil {
-		return nil, err
-	}
-	flags, err := br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	t.TsdevKnown = flags&1 != 0
-	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint64(cnt[:])
-	const maxRequests = 1 << 31
-	if n > maxRequests {
-		return nil, fmt.Errorf("trace: implausible request count %d", n)
-	}
-	t.Requests = make([]Request, 0, n)
-	var rec [34]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
-		}
-		t.Requests = append(t.Requests, Request{
-			Arrival: time.Duration(binary.LittleEndian.Uint64(rec[0:])),
-			Device:  binary.LittleEndian.Uint32(rec[8:]),
-			LBA:     binary.LittleEndian.Uint64(rec[12:]),
-			Sectors: binary.LittleEndian.Uint32(rec[20:]),
-			Op:      Op(rec[24]),
-			Latency: time.Duration(binary.LittleEndian.Uint64(rec[25:])),
-			Async:   rec[33] == 1,
-		})
-	}
-	return t, nil
+	return Drain(NewBinaryDecoder(r))
 }

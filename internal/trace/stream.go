@@ -1,0 +1,805 @@
+package trace
+
+// Streaming layer: Decoder yields requests one at a time and Encoder
+// consumes them one at a time, so pipelines can process traces far
+// larger than memory. Every on-disk format gets a streaming
+// counterpart here, and the whole-trace Read*/Write* functions in
+// io.go, blktrace.go and fio.go delegate to these, so the two paths
+// cannot drift apart.
+//
+// Decoders yield requests in file order. The MSRC and SPC corpora are
+// only nearly sorted (event tracing reorders completions), so their
+// whole-trace readers sort after draining; streaming callers that need
+// monotonic arrivals wrap the decoder in a ReorderDecoder with a
+// bounded window instead.
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Meta is the trace-level metadata that travels alongside a request
+// stream: everything a Trace carries except the requests themselves.
+type Meta struct {
+	Name       string
+	Workload   string
+	Set        string
+	TsdevKnown bool
+}
+
+// Meta extracts the stream metadata of a trace.
+func (t *Trace) Meta() Meta {
+	return Meta{Name: t.Name, Workload: t.Workload, Set: t.Set, TsdevKnown: t.TsdevKnown}
+}
+
+// applyMeta copies m into the trace's metadata fields.
+func (t *Trace) applyMeta(m Meta) {
+	t.Name, t.Workload, t.Set, t.TsdevKnown = m.Name, m.Workload, m.Set, m.TsdevKnown
+}
+
+// Decoder yields the requests of a trace incrementally.
+type Decoder interface {
+	// Next returns the next request, or io.EOF when the stream is
+	// exhausted. Any other error is a parse/IO failure.
+	Next() (Request, error)
+	// Meta returns the metadata seen so far. Formats carry metadata in
+	// a header, so Meta is complete after the first Next call (and for
+	// headered formats after construction); callers that emit metadata
+	// should read at least one request first.
+	Meta() Meta
+}
+
+// Encoder consumes a request stream and renders one on-disk format.
+type Encoder interface {
+	// Begin emits the format's header. It must be called exactly once,
+	// before the first Write.
+	Begin(Meta) error
+	// Write appends one request.
+	Write(Request) error
+	// Close terminates the stream and flushes buffered output. It does
+	// not close the underlying writer.
+	Close() error
+}
+
+// SizeHinter is implemented by decoders that know how many requests
+// remain (the counted binary format); Drain uses it to preallocate.
+type SizeHinter interface {
+	// SizeHint returns the expected remaining request count, 0 when
+	// unknown.
+	SizeHint() int
+}
+
+// Drain reads dec to exhaustion and materializes a whole Trace.
+func Drain(dec Decoder) (*Trace, error) {
+	t := &Trace{}
+	if h, ok := dec.(SizeHinter); ok {
+		// The hint comes from an untrusted file header: cap the upfront
+		// allocation so a corrupt count cannot OOM the process, and let
+		// append grow past it for genuinely huge traces.
+		const maxPrealloc = 1 << 20
+		if n := h.SizeHint(); n > 0 {
+			t.Requests = make([]Request, 0, min(n, maxPrealloc))
+		}
+	}
+	for {
+		r, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, r)
+	}
+	t.applyMeta(dec.Meta())
+	return t, nil
+}
+
+// EncodeTrace streams a whole trace through enc.
+func EncodeTrace(enc Encoder, t *Trace) error {
+	if err := enc.Begin(t.Meta()); err != nil {
+		return err
+	}
+	for _, r := range t.Requests {
+		if err := enc.Write(r); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// NewDecoder returns a streaming decoder for the named input format:
+// "csv", "bin", "msrc" or "spc".
+func NewDecoder(format string, r io.Reader) (Decoder, error) {
+	switch format {
+	case "csv":
+		return NewCSVDecoder(r), nil
+	case "bin":
+		return NewBinaryDecoder(r), nil
+	case "msrc":
+		return NewMSRCDecoder(r), nil
+	case "spc":
+		return NewSPCDecoder(r), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown input format %q", format)
+	}
+}
+
+// NeedsSort reports whether the named input format is only
+// near-sorted in file order (event-traced corpora), so materializing
+// readers must sort after draining and streaming consumers need a
+// reorder window.
+func NeedsSort(format string) bool { return format == "msrc" || format == "spc" }
+
+// ReadFormat materializes a whole trace of the named input format,
+// applying the arrival sort the near-sorted corpora need.
+func ReadFormat(format string, r io.Reader) (*Trace, error) {
+	dec, err := NewDecoder(format, r)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Drain(dec)
+	if err != nil {
+		return nil, err
+	}
+	if NeedsSort(format) {
+		t.Sort()
+	}
+	return t, nil
+}
+
+// NewEncoder returns a streaming encoder for the named output format:
+// "csv", "bin", "blktrace" or "fio". fioDevice is the replay target
+// path the fio format embeds (ignored by the others).
+func NewEncoder(format string, w io.Writer, fioDevice string) (Encoder, error) {
+	switch format {
+	case "csv":
+		return NewCSVEncoder(w), nil
+	case "bin":
+		return NewBinaryEncoder(w), nil
+	case "blktrace":
+		return NewBlktraceEncoder(w), nil
+	case "fio":
+		return NewFIOEncoder(w, fioDevice), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown output format %q", format)
+	}
+}
+
+// SeqState tracks per-device end positions so sequentiality flags can
+// be computed incrementally. Flag returns the classification of each
+// request presented in trace order; trace.SeqFlags delegates here, so
+// a SeqState snapshot at a shard boundary reproduces the whole-trace
+// flags exactly.
+type SeqState struct {
+	lastEnd map[uint32]uint64
+}
+
+// NewSeqState returns an empty sequentiality tracker.
+func NewSeqState() *SeqState {
+	return &SeqState{lastEnd: make(map[uint32]uint64, 4)}
+}
+
+// Flag classifies r (true = sequential) and advances the state.
+func (s *SeqState) Flag(r Request) bool {
+	end, seen := s.lastEnd[r.Device]
+	s.lastEnd[r.Device] = r.End()
+	return seen && r.LBA == end
+}
+
+// Clone deep-copies the state, so shard planners can snapshot it.
+func (s *SeqState) Clone() *SeqState {
+	c := NewSeqState()
+	for k, v := range s.lastEnd {
+		c.lastEnd[k] = v
+	}
+	return c
+}
+
+// --- native CSV ---
+
+// CSVDecoder streams the native CSV format.
+type CSVDecoder struct {
+	sc      *bufio.Scanner
+	lineno  int
+	meta    Meta
+	t       Trace // scratch for header parsing
+	sawData bool
+}
+
+// NewCSVDecoder wraps r in a native-CSV request stream.
+func NewCSVDecoder(r io.Reader) *CSVDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &CSVDecoder{sc: sc}
+}
+
+// Meta implements Decoder.
+func (d *CSVDecoder) Meta() Meta { return d.meta }
+
+// Next implements Decoder.
+func (d *CSVDecoder) Next() (Request, error) {
+	for d.sc.Scan() {
+		d.lineno++
+		line := strings.TrimSpace(d.sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# tracetracker ") && d.sawData {
+				// A metadata header behind data rows (concatenated
+				// files) cannot be honoured by a streaming consumer
+				// that already acted on the old metadata — reject it
+				// rather than let streaming and whole-trace paths
+				// silently diverge.
+				return Request{}, fmt.Errorf("trace: line %d: metadata header after data rows", d.lineno)
+			}
+			d.t.applyMeta(d.meta)
+			parseHeaderComment(&d.t, line)
+			d.meta = d.t.Meta()
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 7 {
+			return Request{}, fmt.Errorf("trace: line %d: want 7 fields, got %d", d.lineno, len(f))
+		}
+		req, err := parseNativeFields(f)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: line %d: %w", d.lineno, err)
+		}
+		d.sawData = true
+		return req, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// CSVEncoder streams the native CSV format.
+type CSVEncoder struct {
+	bw *bufio.Writer
+}
+
+// NewCSVEncoder wraps w in a native-CSV request sink.
+func NewCSVEncoder(w io.Writer) *CSVEncoder {
+	return &CSVEncoder{bw: bufio.NewWriter(w)}
+}
+
+// Begin implements Encoder.
+func (e *CSVEncoder) Begin(m Meta) error {
+	fmt.Fprintf(e.bw, "# tracetracker name=%s workload=%s set=%s tsdev_known=%v\n",
+		m.Name, m.Workload, m.Set, m.TsdevKnown)
+	_, err := fmt.Fprintln(e.bw, "# arrival_us,device,lba,sectors,op,latency_us,async")
+	return err
+}
+
+// Write implements Encoder.
+func (e *CSVEncoder) Write(r Request) error {
+	async := 0
+	if r.Async {
+		async = 1
+	}
+	_, err := fmt.Fprintf(e.bw, "%.3f,%d,%d,%d,%s,%.3f,%d\n",
+		micros(r.Arrival), r.Device, r.LBA, r.Sectors, r.Op, micros(r.Latency), async)
+	return err
+}
+
+// Close implements Encoder.
+func (e *CSVEncoder) Close() error { return e.bw.Flush() }
+
+// --- compact binary ---
+
+// streamingCount is the request-count sentinel a BinaryEncoder writes:
+// it cannot know the count up front, so records simply run to EOF.
+// BinaryDecoder (and therefore ReadBinary) accepts both forms.
+const streamingCount = ^uint64(0)
+
+// BinaryDecoder streams the compact binary format.
+type BinaryDecoder struct {
+	br        *bufio.Reader
+	meta      Meta
+	headerErr error
+	remaining uint64
+	counted   bool
+	idx       uint64
+}
+
+// NewBinaryDecoder wraps r in a binary request stream. Header parse
+// errors surface on the first Next call.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	d := &BinaryDecoder{br: bufio.NewReader(r)}
+	d.headerErr = d.readHeader()
+	if d.headerErr == io.EOF {
+		// A stream ending inside the header (including a 0-byte file)
+		// is a truncated trace, not a clean end-of-stream — Next must
+		// not let it masquerade as an empty trace.
+		d.headerErr = fmt.Errorf("trace: truncated binary header: %w", io.ErrUnexpectedEOF)
+	}
+	return d
+}
+
+func (d *BinaryDecoder) readHeader() error {
+	var magic [4]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		return err
+	}
+	if magic != binaryMagic {
+		return fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readString := func() (string, error) {
+		var lenbuf [2]byte
+		if _, err := io.ReadFull(d.br, lenbuf[:]); err != nil {
+			return "", err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint16(lenbuf[:]))
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var err error
+	if d.meta.Name, err = readString(); err != nil {
+		return err
+	}
+	if d.meta.Workload, err = readString(); err != nil {
+		return err
+	}
+	if d.meta.Set, err = readString(); err != nil {
+		return err
+	}
+	flags, err := d.br.ReadByte()
+	if err != nil {
+		return err
+	}
+	d.meta.TsdevKnown = flags&1 != 0
+	var cnt [8]byte
+	if _, err := io.ReadFull(d.br, cnt[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	if n != streamingCount {
+		const maxRequests = 1 << 31
+		if n > maxRequests {
+			return fmt.Errorf("trace: implausible request count %d", n)
+		}
+		d.remaining = n
+		d.counted = true
+	}
+	return nil
+}
+
+// Meta implements Decoder.
+func (d *BinaryDecoder) Meta() Meta { return d.meta }
+
+// SizeHint implements SizeHinter: the counted header form declares
+// the remaining record count (0 for streamed sentinel files).
+func (d *BinaryDecoder) SizeHint() int {
+	if d.headerErr != nil || !d.counted {
+		return 0
+	}
+	return int(d.remaining)
+}
+
+// Next implements Decoder.
+func (d *BinaryDecoder) Next() (Request, error) {
+	if d.headerErr != nil {
+		return Request{}, d.headerErr
+	}
+	if d.counted && d.remaining == 0 {
+		return Request{}, io.EOF
+	}
+	var rec [34]byte
+	if _, err := io.ReadFull(d.br, rec[:]); err != nil {
+		if !d.counted && err == io.EOF {
+			return Request{}, io.EOF
+		}
+		return Request{}, fmt.Errorf("trace: truncated at record %d: %w", d.idx, err)
+	}
+	if d.counted {
+		d.remaining--
+	}
+	d.idx++
+	return Request{
+		Arrival: time.Duration(binary.LittleEndian.Uint64(rec[0:])),
+		Device:  binary.LittleEndian.Uint32(rec[8:]),
+		LBA:     binary.LittleEndian.Uint64(rec[12:]),
+		Sectors: binary.LittleEndian.Uint32(rec[20:]),
+		Op:      Op(rec[24]),
+		Latency: time.Duration(binary.LittleEndian.Uint64(rec[25:])),
+		Async:   rec[33] == 1,
+	}, nil
+}
+
+// BinaryEncoder streams the compact binary format. Because the count
+// is unknown up front it writes the streamingCount sentinel; files it
+// produces are readable by ReadBinary/BinaryDecoder but differ in that
+// one header field from WriteBinary output.
+type BinaryEncoder struct {
+	bw *bufio.Writer
+}
+
+// NewBinaryEncoder wraps w in a binary request sink.
+func NewBinaryEncoder(w io.Writer) *BinaryEncoder {
+	return &BinaryEncoder{bw: bufio.NewWriter(w)}
+}
+
+// Begin implements Encoder.
+func (e *BinaryEncoder) Begin(m Meta) error {
+	return writeBinaryHeader(e.bw, m, streamingCount)
+}
+
+// Write implements Encoder.
+func (e *BinaryEncoder) Write(r Request) error {
+	return writeBinaryRecord(e.bw, r)
+}
+
+// Close implements Encoder.
+func (e *BinaryEncoder) Close() error { return e.bw.Flush() }
+
+// writeBinaryHeader emits the magic, metadata strings, flags and the
+// request count (or streamingCount).
+func writeBinaryHeader(bw *bufio.Writer, m Meta, count uint64) error {
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	writeString := func(s string) {
+		var lenbuf [2]byte
+		binary.LittleEndian.PutUint16(lenbuf[:], uint16(len(s)))
+		bw.Write(lenbuf[:])
+		bw.WriteString(s)
+	}
+	writeString(m.Name)
+	writeString(m.Workload)
+	writeString(m.Set)
+	flags := byte(0)
+	if m.TsdevKnown {
+		flags |= 1
+	}
+	bw.WriteByte(flags)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], count)
+	_, err := bw.Write(cnt[:])
+	return err
+}
+
+// writeBinaryRecord emits one fixed-width request record.
+func writeBinaryRecord(bw *bufio.Writer, r Request) error {
+	var rec [34]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
+	binary.LittleEndian.PutUint32(rec[8:], r.Device)
+	binary.LittleEndian.PutUint64(rec[12:], r.LBA)
+	binary.LittleEndian.PutUint32(rec[20:], r.Sectors)
+	rec[24] = byte(r.Op)
+	binary.LittleEndian.PutUint64(rec[25:], uint64(r.Latency))
+	if r.Async {
+		rec[33] = 1
+	}
+	_, err := bw.Write(rec[:])
+	return err
+}
+
+// --- MSRC CSV ---
+
+// MSRCDecoder streams the Microsoft Research Cambridge CSV format in
+// file order, rebasing arrivals so the first record is at zero. MSRC
+// files are only nearly sorted; wrap in a ReorderDecoder when monotone
+// arrivals are required.
+type MSRCDecoder struct {
+	sc     *bufio.Scanner
+	lineno int
+	meta   Meta
+	base   int64
+	first  bool
+}
+
+// NewMSRCDecoder wraps r in an MSRC request stream.
+func NewMSRCDecoder(r io.Reader) *MSRCDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &MSRCDecoder{sc: sc, meta: Meta{Set: "MSRC", TsdevKnown: true}, first: true}
+}
+
+// Meta implements Decoder.
+func (d *MSRCDecoder) Meta() Meta { return d.meta }
+
+// Next implements Decoder.
+func (d *MSRCDecoder) Next() (Request, error) {
+	for d.sc.Scan() {
+		d.lineno++
+		line := strings.TrimSpace(d.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 7 {
+			return Request{}, fmt.Errorf("trace: msrc line %d: want 7 fields, got %d", d.lineno, len(f))
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d timestamp: %w", d.lineno, err)
+		}
+		if d.first {
+			d.base = ts
+			d.meta.Workload = f[1]
+			d.meta.Name = f[1]
+			d.first = false
+		}
+		disk, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d disk: %w", d.lineno, err)
+		}
+		op, err := ParseOp(f[3])
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d: %w", d.lineno, err)
+		}
+		off, err := strconv.ParseUint(f[4], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d offset: %w", d.lineno, err)
+		}
+		size, err := strconv.ParseUint(f[5], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d size: %w", d.lineno, err)
+		}
+		resp, err := strconv.ParseInt(f[6], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: msrc line %d response: %w", d.lineno, err)
+		}
+		sectors := uint32((size + SectorSize - 1) / SectorSize)
+		if sectors == 0 {
+			sectors = 1
+		}
+		return Request{
+			Arrival: time.Duration(ts-d.base) * 100, // 100ns ticks
+			Device:  uint32(disk),
+			LBA:     off / SectorSize,
+			Sectors: sectors,
+			Op:      op,
+			Latency: time.Duration(resp) * 100,
+		}, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// --- SPC-1 ASCII ---
+
+// SPCDecoder streams the SPC-1 ASCII format in file order.
+type SPCDecoder struct {
+	sc     *bufio.Scanner
+	lineno int
+}
+
+// NewSPCDecoder wraps r in an SPC request stream.
+func NewSPCDecoder(r io.Reader) *SPCDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &SPCDecoder{sc: sc}
+}
+
+// Meta implements Decoder.
+func (d *SPCDecoder) Meta() Meta { return Meta{TsdevKnown: false} }
+
+// Next implements Decoder.
+func (d *SPCDecoder) Next() (Request, error) {
+	for d.sc.Scan() {
+		d.lineno++
+		line := strings.TrimSpace(d.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 5 {
+			return Request{}, fmt.Errorf("trace: spc line %d: want 5 fields, got %d", d.lineno, len(f))
+		}
+		asu, err := strconv.ParseUint(strings.TrimSpace(f[0]), 10, 32)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d asu: %w", d.lineno, err)
+		}
+		lba, err := strconv.ParseUint(strings.TrimSpace(f[1]), 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d lba: %w", d.lineno, err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(f[2]), 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d size: %w", d.lineno, err)
+		}
+		op, err := ParseOp(strings.TrimSpace(f[3]))
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d: %w", d.lineno, err)
+		}
+		sec, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d timestamp: %w", d.lineno, err)
+		}
+		sectors := uint32((size + SectorSize - 1) / SectorSize)
+		if sectors == 0 {
+			sectors = 1
+		}
+		return Request{
+			Arrival: time.Duration(sec * float64(time.Second)),
+			Device:  uint32(asu),
+			LBA:     lba,
+			Sectors: sectors,
+			Op:      op,
+		}, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// --- blktrace text (encoder) ---
+
+// BlktraceEncoder streams the blkparse-style D/C event text format.
+type BlktraceEncoder struct {
+	bw   *bufio.Writer
+	name string
+	seq  int
+}
+
+// NewBlktraceEncoder wraps w in a blktrace event sink.
+func NewBlktraceEncoder(w io.Writer) *BlktraceEncoder {
+	return &BlktraceEncoder{bw: bufio.NewWriter(w)}
+}
+
+// Begin implements Encoder.
+func (e *BlktraceEncoder) Begin(m Meta) error {
+	e.name = m.Name
+	return nil
+}
+
+// Write implements Encoder.
+func (e *BlktraceEncoder) Write(r Request) error {
+	e.seq++
+	rwbs := "R"
+	if r.Op == Write {
+		rwbs = "W"
+	}
+	_, err := fmt.Fprintf(e.bw, "8,%d    0 %8d %14.9f  0  D   %s %d + %d [%s]\n",
+		r.Device, e.seq, r.Arrival.Seconds(), rwbs, r.LBA, r.Sectors, e.name)
+	if err != nil {
+		return err
+	}
+	if r.Latency > 0 {
+		e.seq++
+		_, err = fmt.Fprintf(e.bw, "8,%d    0 %8d %14.9f  0  C   %s %d + %d [0]\n",
+			r.Device, e.seq, (r.Arrival + r.Latency).Seconds(), rwbs, r.LBA, r.Sectors)
+	}
+	return err
+}
+
+// Close implements Encoder.
+func (e *BlktraceEncoder) Close() error { return e.bw.Flush() }
+
+// --- fio iolog v2 (encoder) ---
+
+// FIOEncoder streams the fio iolog v2 replay format.
+type FIOEncoder struct {
+	bw     *bufio.Writer
+	device string
+	prev   time.Duration
+	first  bool
+}
+
+// NewFIOEncoder wraps w in an iolog sink replaying against device.
+func NewFIOEncoder(w io.Writer, device string) *FIOEncoder {
+	return &FIOEncoder{bw: bufio.NewWriter(w), device: device, first: true}
+}
+
+// Begin implements Encoder.
+func (e *FIOEncoder) Begin(Meta) error {
+	fmt.Fprintln(e.bw, "fio version 2 iolog")
+	fmt.Fprintf(e.bw, "%s add\n", e.device)
+	_, err := fmt.Fprintf(e.bw, "%s open\n", e.device)
+	return err
+}
+
+// Write implements Encoder.
+func (e *FIOEncoder) Write(r Request) error {
+	if !e.first {
+		if gap := r.Arrival - e.prev; gap > 0 {
+			fmt.Fprintf(e.bw, "%s wait %d\n", e.device, gap.Microseconds())
+		}
+	}
+	e.first = false
+	e.prev = r.Arrival
+	action := "read"
+	if r.Op == Write {
+		action = "write"
+	}
+	_, err := fmt.Fprintf(e.bw, "%s %s %d %d\n", e.device, action, int64(r.LBA)*SectorSize, r.Bytes())
+	return err
+}
+
+// Close implements Encoder.
+func (e *FIOEncoder) Close() error {
+	fmt.Fprintf(e.bw, "%s close\n", e.device)
+	return e.bw.Flush()
+}
+
+// --- bounded reordering ---
+
+// reorderItem pairs a request with its input position for stable
+// ordering of equal arrivals.
+type reorderItem struct {
+	req Request
+	seq uint64
+}
+
+type reorderHeap []reorderItem
+
+func (h reorderHeap) Len() int { return len(h) }
+func (h reorderHeap) Less(i, j int) bool {
+	if h[i].req.Arrival != h[j].req.Arrival {
+		return h[i].req.Arrival < h[j].req.Arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reorderHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *reorderHeap) Push(x any)        { *h = append(*h, x.(reorderItem)) }
+func (h *reorderHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// ReorderDecoder wraps a decoder with a bounded min-heap window: as
+// long as no request is displaced by more than window positions from
+// its sorted slot, the output order equals the stable arrival sort the
+// whole-trace readers produce — with O(window) memory instead of the
+// whole trace. Event-traced corpora (MSRC) are near-sorted, so a small
+// window suffices.
+type ReorderDecoder struct {
+	inner  Decoder
+	window int
+	h      reorderHeap
+	seq    uint64
+	done   bool
+	err    error
+}
+
+// NewReorderDecoder wraps dec with a reorder window of the given size
+// (minimum 1).
+func NewReorderDecoder(dec Decoder, window int) *ReorderDecoder {
+	if window < 1 {
+		window = 1
+	}
+	return &ReorderDecoder{inner: dec, window: window}
+}
+
+// Meta implements Decoder.
+func (d *ReorderDecoder) Meta() Meta { return d.inner.Meta() }
+
+// Next implements Decoder.
+func (d *ReorderDecoder) Next() (Request, error) {
+	if d.err != nil {
+		return Request{}, d.err
+	}
+	// Hold window+1 items before emitting: popping the min of w+1
+	// buffered requests is what guarantees displacements up to w.
+	for !d.done && len(d.h) <= d.window {
+		r, err := d.inner.Next()
+		if err == io.EOF {
+			d.done = true
+			break
+		}
+		if err != nil {
+			d.err = err
+			return Request{}, err
+		}
+		heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
+		d.seq++
+	}
+	if len(d.h) == 0 {
+		d.err = io.EOF
+		return Request{}, io.EOF
+	}
+	it := heap.Pop(&d.h).(reorderItem)
+	return it.req, nil
+}

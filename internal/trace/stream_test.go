@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func streamSample() *Trace {
+	return &Trace{
+		Name: "s", Workload: "w", Set: "FIU", TsdevKnown: true,
+		Requests: []Request{
+			{Arrival: 0, Device: 0, LBA: 100, Sectors: 8, Op: Read, Latency: 90 * time.Microsecond},
+			{Arrival: time.Millisecond, Device: 1, LBA: 108, Sectors: 16, Op: Write, Latency: 250 * time.Microsecond, Async: true},
+			{Arrival: 3 * time.Millisecond, Device: 0, LBA: 4096, Sectors: 64, Op: Read},
+		},
+	}
+}
+
+// TestStreamMatchesWholeTrace checks that encoding via the streaming
+// encoders produces the same bytes as the whole-trace writers, and
+// that decoding via the streaming decoders recovers the same trace as
+// the whole-trace readers.
+func TestStreamMatchesWholeTrace(t *testing.T) {
+	orig := streamSample()
+	var whole, streamed bytes.Buffer
+	if err := WriteCSV(&whole, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTrace(NewCSVEncoder(&streamed), orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("csv: streaming encoder diverges from WriteCSV")
+	}
+	got, err := Drain(NewCSVDecoder(bytes.NewReader(streamed.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta() != orig.Meta() {
+		t.Fatalf("csv meta: got %+v want %+v", got.Meta(), orig.Meta())
+	}
+	if !reflect.DeepEqual(got.Requests, orig.Requests) {
+		t.Fatal("csv: streaming round trip lost data")
+	}
+}
+
+// TestBinaryStreamingSentinel checks that a BinaryEncoder stream (no
+// up-front count) is readable by ReadBinary.
+func TestBinaryStreamingSentinel(t *testing.T) {
+	orig := streamSample()
+	var buf bytes.Buffer
+	if err := EncodeTrace(NewBinaryEncoder(&buf), orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta() != orig.Meta() || !reflect.DeepEqual(got.Requests, orig.Requests) {
+		t.Fatal("binary streaming round trip lost data")
+	}
+	// Counted files written by WriteBinary must stream-decode too.
+	var counted bytes.Buffer
+	if err := WriteBinary(&counted, orig); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewBinaryDecoder(bytes.NewReader(counted.Bytes()))
+	got2, err := Drain(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.Requests, orig.Requests) {
+		t.Fatal("counted binary stream decode lost data")
+	}
+}
+
+// TestBinaryTruncatedHeader checks an empty or header-truncated
+// binary stream is an error, not a silently empty trace.
+func TestBinaryTruncatedHeader(t *testing.T) {
+	for _, in := range []string{"", "TTR1", "TTR1\x02\x00a"} {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Fatalf("truncated header %q accepted as empty trace", in)
+		}
+		dec := NewBinaryDecoder(strings.NewReader(in))
+		if _, err := dec.Next(); err == nil || err == io.EOF {
+			t.Fatalf("decoder on %q: got %v, want a truncation error", in, err)
+		}
+	}
+}
+
+// TestReorderDecoder checks the bounded window recovers the stable
+// arrival sort of a near-sorted stream.
+func TestReorderDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reqs []Request
+	for i := 0; i < 500; i++ {
+		reqs = append(reqs, Request{
+			Arrival: time.Duration(i) * time.Millisecond,
+			LBA:     uint64(i), Sectors: 8, Op: Read,
+		})
+	}
+	// Displace locally within a window of 8.
+	shuffled := append([]Request(nil), reqs...)
+	for i := 0; i+8 <= len(shuffled); i += 8 {
+		rng.Shuffle(8, func(a, b int) {
+			shuffled[i+a], shuffled[i+b] = shuffled[i+b], shuffled[i+a]
+		})
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(NewBinaryEncoder(&buf), &Trace{Requests: shuffled}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewReorderDecoder(NewBinaryDecoder(bytes.NewReader(buf.Bytes())), 16)
+	got, err := Drain(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, reqs) {
+		t.Fatal("reorder decoder did not restore sorted order")
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after drain, got %v", err)
+	}
+}
+
+// TestReorderDecoderExactWindow checks the documented bound is
+// inclusive: a request displaced by exactly `window` positions is
+// still sorted into place.
+func TestReorderDecoderExactWindow(t *testing.T) {
+	// Arrivals [2ms, 3ms, 1ms]: the 1ms record sits 2 positions past
+	// its sorted slot, so window=2 must recover [1,2,3].
+	reqs := []Request{
+		{Arrival: 2 * time.Millisecond, LBA: 2, Sectors: 8, Op: Read},
+		{Arrival: 3 * time.Millisecond, LBA: 3, Sectors: 8, Op: Read},
+		{Arrival: 1 * time.Millisecond, LBA: 1, Sectors: 8, Op: Read},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(NewBinaryEncoder(&buf), &Trace{Requests: reqs}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(NewReorderDecoder(NewBinaryDecoder(bytes.NewReader(buf.Bytes())), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.Requests); i++ {
+		if got.Requests[i].Arrival < got.Requests[i-1].Arrival {
+			t.Fatalf("window-sized displacement not sorted: %v", got.Requests)
+		}
+	}
+}
+
+// TestMSRCDecoderMatchesReader checks the streaming MSRC decoder plus
+// a reorder window reproduces ReadMSRC on near-sorted input.
+func TestMSRCDecoderMatchesReader(t *testing.T) {
+	const msrc = `128166372003061629,web,0,Write,8192,4096,501
+128166372002869395,web,0,Read,0,4096,1003
+128166372013321843,web,1,Write,12288,8192,702
+`
+	want, err := ReadMSRC(strings.NewReader(msrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(NewReorderDecoder(NewMSRCDecoder(strings.NewReader(msrc)), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.applyMeta(got.Meta())
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatalf("msrc stream mismatch:\n got %+v\nwant %+v", got.Requests, want.Requests)
+	}
+	if got.Set != "MSRC" || !got.TsdevKnown || got.Workload != "web" {
+		t.Fatalf("msrc meta: %+v", got.Meta())
+	}
+}
+
+// TestSPCDecoderMatchesReader checks the SPC streaming decoder against
+// ReadSPC.
+func TestSPCDecoderMatchesReader(t *testing.T) {
+	const spc = `0,20941264,8192,W,0.000000
+0,20939840,8192,W,0.001020
+1,3072,1024,R,0.000511
+`
+	want, err := ReadSPC(strings.NewReader(spc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(NewReorderDecoder(NewSPCDecoder(strings.NewReader(spc)), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Fatalf("spc stream mismatch:\n got %+v\nwant %+v", got.Requests, want.Requests)
+	}
+}
+
+// TestBlktraceFIOEncodersMatchWriters checks streaming encoders for
+// the two replay output formats against the whole-trace writers.
+func TestBlktraceFIOEncodersMatchWriters(t *testing.T) {
+	orig := streamSample()
+	var whole, streamed bytes.Buffer
+	if err := WriteBlktrace(&whole, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTrace(NewBlktraceEncoder(&streamed), orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("blktrace: streaming encoder diverges")
+	}
+	whole.Reset()
+	streamed.Reset()
+	if err := WriteFIOLog(&whole, orig, "/dev/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTrace(NewFIOEncoder(&streamed, "/dev/x"), orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("fio: streaming encoder diverges")
+	}
+}
+
+// TestCSVLateHeaderRejected checks a metadata header behind data rows
+// (concatenated files) is an error on both the streaming and the
+// whole-trace path, so they cannot silently diverge.
+func TestCSVLateHeaderRejected(t *testing.T) {
+	const in = "1.000,0,100,8,R,5.000,0\n" +
+		"# tracetracker name=x workload=w set=S tsdev_known=true\n" +
+		"2.000,0,200,8,R,5.000,0\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "metadata header after data") {
+		t.Fatalf("ReadCSV late header: got %v", err)
+	}
+	dec := NewCSVDecoder(strings.NewReader(in))
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil || !strings.Contains(err.Error(), "metadata header after data") {
+		t.Fatalf("decoder late header: got %v", err)
+	}
+	// A plain comment between rows stays legal.
+	const ok = "# tracetracker name=x workload=w set=S tsdev_known=true\n" +
+		"1.000,0,100,8,R,5.000,0\n" +
+		"# just a note\n" +
+		"2.000,0,200,8,R,5.000,0\n"
+	tr, err := ReadCSV(strings.NewReader(ok))
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("plain comment: %v, %d requests", err, tr.Len())
+	}
+}
+
+// TestSeqState checks the incremental sequentiality tracker matches
+// SeqFlags and that clones are independent.
+func TestSeqState(t *testing.T) {
+	tr := streamSample()
+	want := tr.SeqFlags()
+	st := NewSeqState()
+	for i, r := range tr.Requests {
+		if got := st.Flag(r); got != want[i] {
+			t.Fatalf("flag %d: got %v want %v", i, got, want[i])
+		}
+	}
+	a := NewSeqState()
+	a.Flag(Request{LBA: 0, Sectors: 8})
+	b := a.Clone()
+	b.Flag(Request{LBA: 100, Sectors: 8})
+	if !a.Flag(Request{LBA: 8, Sectors: 8}) {
+		t.Fatal("clone mutation leaked into parent")
+	}
+}

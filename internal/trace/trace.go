@@ -215,14 +215,9 @@ func (t *Trace) InterArrivalMicros() []float64 {
 // definition the paper's grouping step uses.
 func (t *Trace) SeqFlags() []bool {
 	out := make([]bool, len(t.Requests))
-	lastEnd := make(map[uint32]uint64, 4)
-	seen := make(map[uint32]bool, 4)
+	st := NewSeqState()
 	for i, r := range t.Requests {
-		if seen[r.Device] && r.LBA == lastEnd[r.Device] {
-			out[i] = true
-		}
-		seen[r.Device] = true
-		lastEnd[r.Device] = r.End()
+		out[i] = st.Flag(r)
 	}
 	return out
 }
