@@ -3,9 +3,15 @@
 // inference model — the paper's software-evaluation stage as a
 // standalone analysis tool.
 //
+// -stream computes the summary in one pass over the streaming decoder
+// with bounded memory, so corpora larger than RAM can be characterized
+// (per-group classification and the model fit need the materialized
+// trace and are skipped in this mode).
+//
 // Usage:
 //
 //	tracestat -in trace.csv
+//	tracestat -in week.bin -informat auto -stream
 //	tracegen -workload ikki | tracestat
 package main
 
@@ -16,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/infer"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -24,9 +31,18 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input trace path (default stdin)")
-	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc", or "auto" (content sniffing)`)
 	groups := flag.Bool("groups", true, "print per-group classification")
+	stream := flag.Bool("stream", false,
+		"one-pass streaming summary with bounded memory (skips groups and the model fit)")
 	flag.Parse()
+
+	if *stream {
+		if err := runStream(*in, *informat); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	tr, err := readTrace(*in, *informat)
 	if err != nil {
@@ -115,28 +131,77 @@ func main() {
 func usDur(v float64) time.Duration  { return time.Duration(v * float64(time.Microsecond)) }
 func usDurD(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
 
-func readTrace(path, format string) (*trace.Trace, error) {
-	var r io.Reader = os.Stdin
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+// runStream prints the one-pass summary: the whole-trace metrics the
+// materializing path shows, computed over the streaming decoder (with
+// a bounded reorder window for the near-sorted corpora) so memory
+// stays constant regardless of trace size.
+func runStream(path, format string) error {
+	r, closeIn, err := openInput(path)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	if format == "auto" {
+		if format, r, err = trace.SniffFormat(r); err != nil {
+			return err
 		}
-		defer f.Close()
-		r = f
 	}
-	switch format {
-	case "csv":
-		return trace.ReadCSV(r)
-	case "bin":
-		return trace.ReadBinary(r)
-	case "msrc":
-		return trace.ReadMSRC(r)
-	case "spc":
-		return trace.ReadSPC(r)
-	default:
-		return nil, fmt.Errorf("unknown input format %q", format)
+	dec, err := trace.NewDecoder(format, r)
+	if err != nil {
+		return err
 	}
+	if trace.NeedsSort(format) {
+		dec = trace.NewReorderDecoder(dec, engine.DefaultReorderWindow)
+	}
+	sum, err := trace.Summarize(dec)
+	if err != nil {
+		return err
+	}
+	if sum.Requests == 0 {
+		return fmt.Errorf("input: empty trace")
+	}
+
+	t := &report.Table{Title: "trace summary (streamed)", Headers: []string{"metric", "value"}}
+	t.AddRow("name", sum.Meta.Name)
+	t.AddRow("workload", sum.Meta.Workload)
+	t.AddRow("set", sum.Meta.Set)
+	t.AddRow("format", format)
+	t.AddRow("requests", sum.Requests)
+	t.AddRow("duration", sum.Duration())
+	t.AddRow("total MB", fmt.Sprintf("%.1f", float64(sum.TotalBytes)/1e6))
+	t.AddRow("avg request KB", fmt.Sprintf("%.2f", sum.AvgRequestBytes()/1024))
+	t.AddRow("read fraction", report.Percent(sum.ReadFraction()))
+	t.AddRow("sequential fraction", report.Percent(sum.SeqFraction()))
+	t.AddRow("tsdev known", sum.Meta.TsdevKnown)
+	t.Render(os.Stdout)
+
+	it := &report.Table{Title: "inter-arrival times (one-pass moments)", Headers: []string{"metric", "value"}}
+	it.AddRow("mean", usDur(sum.IntervalMeanUS))
+	it.AddRow("stddev", usDur(sum.IntervalStdUS))
+	it.AddRow("max", usDur(sum.IntervalMaxUS))
+	it.Render(os.Stdout)
+	return nil
+}
+
+// openInput opens path (or stdin for "").
+func openInput(path string) (io.Reader, func(), error) {
+	if path == "" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func readTrace(path, format string) (*trace.Trace, error) {
+	r, closeIn, err := openInput(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeIn()
+	return trace.ReadAuto(format, r)
 }
 
 func fatal(err error) {

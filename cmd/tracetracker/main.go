@@ -40,7 +40,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input trace path (default stdin)")
-	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc", or "auto" (content sniffing)`)
 	out := flag.String("out", "", "output trace path (default stdout)")
 	outformat := flag.String("outformat", "csv", `output format: "csv", "bin", "blktrace", or "fio"`)
 	fioDevice := flag.String("fio-device", "/dev/nvme0n1", "target device path for fio output")
@@ -125,6 +125,15 @@ func runStream(in, informat, out, outformat, fioDevice, method string, parallel,
 	if out == "" {
 		return fmt.Errorf("-stream needs -out (the output is written atomically via a temp file)")
 	}
+	if informat == "auto" {
+		// Job specs carry a concrete format (the engine re-opens the
+		// input for its two passes), so resolve the sniff here.
+		detected, err := trace.DetectFile(in)
+		if err != nil {
+			return err
+		}
+		informat = detected
+	}
 	res, err := engine.RunJob(engine.Config{}, engine.JobSpec{
 		In:            in,
 		InFormat:      informat,
@@ -178,7 +187,7 @@ func readTrace(path, format string) (*trace.Trace, error) {
 		defer f.Close()
 		r = f
 	}
-	return trace.ReadFormat(format, r)
+	return trace.ReadAuto(format, r)
 }
 
 func writeTrace(path, format, fioDevice string, t *trace.Trace) error {

@@ -1,0 +1,156 @@
+package main
+
+// The job journal is an append-only JSONL file under the daemon's
+// data directory: one "submit" record when a job is accepted, one
+// "done" or "fail" record when it finishes. On startup the journal is
+// replayed — finished jobs are restored (results resolve from the
+// user's output path or the result cache), and jobs with a submit but
+// no finish were interrupted by a crash and re-queue. A torn final
+// line (crash mid-append) is ignored.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Journal record operations.
+const (
+	journalSubmit = "submit"
+	journalDone   = "done"
+	journalFail   = "fail"
+)
+
+// journalRecord is one journal line.
+type journalRecord struct {
+	Op   string    `json:"op"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+	// Submit payload.
+	Spec   *engine.JobSpec `json:"spec,omitempty"`
+	Digest string          `json:"digest,omitempty"`
+	// Finish payload.
+	Key     string     `json:"key,omitempty"`
+	OutPath string     `json:"out_path,omitempty"`
+	Cached  bool       `json:"cached,omitempty"`
+	Report  *jobReport `json:"report,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// journal is the append handle; writes are serialized and synced per
+// record, so a finished job survives an immediate crash.
+type journal struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// openJournal reads every intact record of the journal at path (a
+// missing file is an empty journal) and opens it for appending.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	var recs []journalRecord
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec journalRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				// A torn tail from a crash mid-append is expected;
+				// anything after it cannot be trusted either.
+				fmt.Fprintf(os.Stderr, "tracetrackerd: journal: ignoring record after parse error: %v\n", err)
+				break
+			}
+			recs = append(recs, rec)
+		}
+		data.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// append writes one record and syncs it to disk. Appends after close
+// (an executor outliving the drain deadline) are dropped: the job
+// stays "interrupted" in the journal and re-runs on the next start.
+func (j *journal) append(rec journalRecord) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: journal: %v\n", err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: journal: %v\n", err)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: journal: %v\n", err)
+	}
+}
+
+// close flushes and closes the journal; later appends are dropped.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.f.Sync()
+	j.f.Close()
+}
+
+// compactAndClose atomically rewrites the journal to exactly recs and
+// closes it. A clean shutdown calls this with the retained jobs'
+// records, so the journal stays bounded by the retention caps instead
+// of growing with the daemon's whole history. On any failure the
+// existing journal is left as it was — replay tolerates the longer
+// form.
+func (j *journal) compactAndClose(recs []journalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.f.Sync()
+	j.f.Close()
+
+	var buf []byte
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracetrackerd: journal compact: %v\n", err)
+			return
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+	tmp := j.path + ".compact"
+	if err := os.WriteFile(tmp, buf, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: journal compact: %v\n", err)
+		return
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		fmt.Fprintf(os.Stderr, "tracetrackerd: journal compact: %v\n", err)
+	}
+}

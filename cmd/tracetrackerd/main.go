@@ -1,29 +1,44 @@
 // Command tracetrackerd is the batch reconstruction job server: a
 // long-running HTTP daemon that runs whole-corpus reconstructions on
-// the sharded parallel engine (internal/engine).
+// the sharded parallel engine (internal/engine), backed by a
+// content-addressed trace corpus (internal/corpus) when started with
+// -data.
 //
-// Jobs are JSON engine.JobSpec documents naming an input trace on the
-// server's filesystem, the method, and optionally an output path and
-// the streaming mode for larger-than-memory corpora. The API is
-// unauthenticated and reads/writes server-side paths, so it listens
-// on loopback by default; front it with real auth before exposing it.
+// Jobs are JSON engine.JobSpec documents naming an input trace — a
+// server-side path, or "corpus:<digest>" for a trace previously
+// uploaded to POST /corpus — plus the method, and optionally an output
+// path and the streaming mode for larger-than-memory corpora. With
+// -data, results of corpus jobs are cached by (input digest, job
+// fingerprint): resubmitting an equivalent job serves the cached bytes
+// without reconstructing, and a journal replays finished and
+// interrupted jobs across restarts. The API is unauthenticated and
+// reads/writes server-side paths, so it listens on loopback by
+// default; front it with real auth before exposing it.
 //
-//	tracetrackerd -jobs 2 -parallel 8
+//	tracetrackerd -jobs 2 -parallel 8 -data /var/lib/tracetracker
 //
+//	curl -s -X POST --data-binary @web_0.csv localhost:8080/corpus
 //	curl -s -X POST localhost:8080/jobs \
-//	  -d '{"in":"/traces/web_0.csv","method":"tracetracker","parallel":8}'
+//	  -d '{"in":"corpus:<digest>","method":"tracetracker","parallel":8}'
 //	curl -s localhost:8080/jobs/job-1          # status + report
 //	curl -s localhost:8080/jobs/job-1/result   # reconstructed trace
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains running
+// jobs up to -drain, flushes the journal and exits; interrupted jobs
+// re-run on the next start.
 //
 // See the README's "tracetrackerd API" section for the full surface.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -37,6 +52,10 @@ func main() {
 	minIdleGap := flag.Duration("min-idle-gap", time.Millisecond, "epoch cut threshold")
 	maxShard := flag.Int("max-shard", 0, "max requests per shard (0 = engine default)")
 	retain := flag.Int("retain", 0, "finished in-memory results kept before eviction (0 = default)")
+	dataDir := flag.String("data", "",
+		"corpus data directory: enables /corpus uploads, corpus:<digest> job inputs, result caching, and crash recovery via the job journal")
+	drain := flag.Duration("drain", 30*time.Second,
+		"graceful-shutdown deadline for running jobs on SIGINT/SIGTERM")
 	flag.Parse()
 
 	base := engine.Config{
@@ -45,11 +64,44 @@ func main() {
 		MaxShardRequests: *maxShard,
 	}
 	srv := newServer(base, *jobs, *retain)
+	if *dataDir != "" {
+		if err := srv.openData(*dataDir); err != nil {
+			fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracetrackerd: corpus store at %s (%d traces)\n",
+			*dataDir, srv.store.Len())
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Fprintf(os.Stderr, "tracetrackerd: listening on %s (%d executors x %d workers)\n",
 		*addr, *jobs, *parallel)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills immediately
+
+	fmt.Fprintf(os.Stderr, "tracetrackerd: shutting down, draining jobs (deadline %v)\n", *drain)
+	// One deadline covers both phases: in-flight HTTP responses and
+	// running executors share -drain rather than each getting it.
+	deadline := time.Now().Add(*drain)
+	sctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	hs.Shutdown(sctx)
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		remain = time.Millisecond
+	}
+	if !srv.CloseGrace(remain) {
+		fmt.Fprintln(os.Stderr, "tracetrackerd: drain deadline hit; interrupted jobs will re-run on next start")
 	}
 }

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// dataServer builds a server with small shards attached to the given
+// data directory.
+func dataServer(t *testing.T, dataDir string) *server {
+	t.Helper()
+	srv := newServer(engine.Config{
+		Workers: 2, MinShardRequests: 32, MaxShardRequests: 128, MinIdleGap: 500 * time.Microsecond,
+	}, 1, 0)
+	if err := srv.openData(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// uploadCorpus PUTs body to /corpus and returns the entry digest.
+func uploadCorpus(t *testing.T, ts *httptest.Server, body []byte, format string) string {
+	t.Helper()
+	url := ts.URL + "/corpus"
+	if format != "" {
+		url += "?format=" + format
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, msg)
+	}
+	var ack struct {
+		Created bool `json:"created"`
+		Entry   struct {
+			Digest string `json:"digest"`
+		} `json:"entry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Entry.Digest == "" {
+		t.Fatal("upload: empty digest")
+	}
+	return ack.Entry.Digest
+}
+
+// getBody fetches a URL and returns its bytes, asserting 200.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// health fetches /healthz as a map.
+func health(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	var h map[string]any
+	if err := json.Unmarshal(getBody(t, ts.URL+"/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestCorpusJobCacheHit is the acceptance scenario: the same JobSpec
+// submitted twice against the same corpus digest performs exactly one
+// reconstruction — the second run is a cache hit with byte-identical
+// output.
+func TestCorpusJobCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	inPath, want := writeInput(t, dir)
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dataServer(t, filepath.Join(dir, "data"))
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	digest := uploadCorpus(t, ts, raw, "") // format sniffed
+	var wantBuf bytes.Buffer
+	if err := trace.WriteCSV(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := engine.JobSpec{In: "corpus:" + digest}
+	id1 := postJob(t, ts, spec)
+	j1 := waitDone(t, ts, id1)
+	if j1.Cached {
+		t.Fatal("first run reported cached")
+	}
+	if j1.Digest != digest {
+		t.Fatalf("job digest: %q", j1.Digest)
+	}
+	if j1.OutPath == "" {
+		t.Fatal("corpus job result not backed by the cache file: eviction would lose it")
+	}
+	got1 := getBody(t, ts.URL+"/jobs/"+id1+"/result")
+	if !bytes.Equal(got1, wantBuf.Bytes()) {
+		t.Fatal("first result diverges from sequential reconstruction")
+	}
+
+	// Resubmitting by digest prefix still hits: the spec canonicalizes.
+	id2 := postJob(t, ts, engine.JobSpec{In: "corpus:" + digest[:12]})
+	j2 := waitDone(t, ts, id2)
+	if !j2.Cached {
+		t.Fatal("second run was not a cache hit")
+	}
+	if j2.Report == nil || j2.Report.Requests != int64(want.Len()) {
+		t.Fatalf("cache hit lost the report: %+v", j2.Report)
+	}
+	got2 := getBody(t, ts.URL+"/jobs/"+id2+"/result")
+	if !bytes.Equal(got2, wantBuf.Bytes()) {
+		t.Fatal("cached result diverges")
+	}
+
+	// informat "auto" on a corpus job means "use the ingested format"
+	// and still lands on the same cache key.
+	id3 := postJob(t, ts, engine.JobSpec{In: "corpus:" + digest, InFormat: "auto"})
+	if j3 := waitDone(t, ts, id3); !j3.Cached {
+		t.Fatal("auto-informat corpus job missed the cache")
+	}
+
+	h := health(t, ts)
+	if h["executed"] != float64(1) || h["cache_hits"] != float64(2) {
+		t.Fatalf("want exactly one reconstruction and two hits, got executed=%v cache_hits=%v",
+			h["executed"], h["cache_hits"])
+	}
+}
+
+// TestCorpusEndpoints covers upload dedup, listing, info by prefix,
+// data round-trip, and the disabled-store path.
+func TestCorpusEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeInput(t, dir)
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dataServer(t, filepath.Join(dir, "data"))
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	d1 := uploadCorpus(t, ts, raw, "csv")
+	d2 := uploadCorpus(t, ts, raw, "") // dedup, sniffed
+	if d1 != d2 {
+		t.Fatalf("dedup: %s vs %s", d1, d2)
+	}
+
+	var list []map[string]any
+	if err := json.Unmarshal(getBody(t, ts.URL+"/corpus"), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0]["digest"] != d1 {
+		t.Fatalf("list: %+v", list)
+	}
+
+	var info map[string]any
+	if err := json.Unmarshal(getBody(t, ts.URL+"/corpus/"+d1[:10]), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info["digest"] != d1 || info["format"] != "csv" {
+		t.Fatalf("info: %+v", info)
+	}
+
+	if data := getBody(t, ts.URL+"/corpus/"+d1+"/data"); !bytes.Equal(data, raw) {
+		t.Fatal("corpus data round-trip diverges")
+	}
+
+	// Bad upload rejected, unknown digest 404.
+	resp, err := http.Post(ts.URL+"/corpus", "text/plain", bytes.NewReader([]byte("garbage\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/corpus/ffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d", resp.StatusCode)
+	}
+
+	// A daemon without -data refuses corpus traffic and corpus jobs.
+	bare := newServer(engine.Config{Workers: 1}, 1, 0)
+	defer bare.Close()
+	tsBare := httptest.NewServer(bare)
+	defer tsBare.Close()
+	resp, err = http.Get(tsBare.URL + "/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-data corpus list: status %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(engine.JobSpec{In: "corpus:" + d1})
+	resp, err = http.Post(tsBare.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-data corpus job: status %d", resp.StatusCode)
+	}
+}
+
+// TestJournalReplayRecovery kills the server between jobs and checks
+// the journal restart contract: finished jobs still serve their cached
+// results without re-execution, and a job that was interrupted mid-run
+// (submit record without a finish record) re-runs to byte-identical
+// output.
+func TestJournalReplayRecovery(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	inPath, want := writeInput(t, dir)
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := trace.WriteCSV(&wantCSV, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: ingest and finish one job, then shut down cleanly.
+	srv1 := dataServer(t, dataDir)
+	ts1 := httptest.NewServer(srv1)
+	digest := uploadCorpus(t, ts1, raw, "csv")
+	id1 := postJob(t, ts1, engine.JobSpec{In: "corpus:" + digest})
+	waitDone(t, ts1, id1)
+	ts1.Close()
+	srv1.Close()
+
+	// A clean shutdown compacts the journal to the retained jobs: one
+	// submit + one done record.
+	jdata, err := os.ReadFile(filepath.Join(dataDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(jdata, []byte("\n")); lines != 2 {
+		t.Fatalf("compacted journal has %d records, want 2:\n%s", lines, jdata)
+	}
+
+	// Phase 2: simulate a crash mid-job by appending a submit record
+	// with no matching finish — exactly what a killed server leaves
+	// behind. The spec differs from job-1 (binary output) so serving it
+	// requires a genuine re-run, not a cache hit.
+	interrupted := engine.JobSpec{In: "corpus:" + digest, InFormat: "csv", OutFormat: "bin"}.Normalized()
+	rec := journalRecord{
+		Op: journalSubmit, ID: "job-77", Time: time.Now(),
+		Spec: &interrupted, Digest: digest,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn half-record after it must be tolerated too.
+	line = append(line, '\n')
+	line = append(line, []byte(`{"op":"done","id":"job-77","tor`)...)
+	jf, err := os.OpenFile(filepath.Join(dataDir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Phase 3: restart on the same data directory.
+	srv2 := dataServer(t, dataDir)
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	// The finished job survived the restart and serves its result from
+	// the cache without re-executing.
+	var j1 job
+	if err := json.Unmarshal(getBody(t, ts2.URL+"/jobs/"+id1), &j1); err != nil {
+		t.Fatal(err)
+	}
+	if j1.State != stateDone {
+		t.Fatalf("replayed job state: %s", j1.State)
+	}
+	if got := getBody(t, ts2.URL+"/jobs/"+id1+"/result"); !bytes.Equal(got, wantCSV.Bytes()) {
+		t.Fatal("replayed result diverges from the original reconstruction")
+	}
+	if j1.Report == nil || j1.Report.Requests != int64(want.Len()) {
+		t.Fatalf("replayed job lost its report: %+v", j1.Report)
+	}
+
+	// The interrupted job re-queued and re-ran to byte-identical
+	// output against a direct engine run of the same spec.
+	j77 := waitDone(t, ts2, "job-77")
+	if j77.Cached {
+		t.Fatal("interrupted bin job cannot be a cache hit: nothing produced bin output before")
+	}
+	got77 := getBody(t, ts2.URL+"/jobs/job-77/result")
+	directSpec := interrupted
+	directSpec.In = filepath.Join(dataDir, "objects", digest)
+	direct, err := engine.RunJob(srv2.base, directSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode via the streaming encoder — the form the result endpoint
+	// and the cache serve (sentinel count, not the counted header).
+	var wantBin bytes.Buffer
+	if err := trace.EncodeTrace(trace.NewBinaryEncoder(&wantBin), direct.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got77, wantBin.Bytes()) {
+		t.Fatal("re-run output diverges from a direct reconstruction")
+	}
+
+	// Replay restored executed/cache_hits counters only for this
+	// process: exactly the one re-run executed, zero for the restored
+	// job.
+	h := health(t, ts2)
+	if h["executed"] != float64(1) {
+		t.Fatalf("restart executed %v jobs, want 1 (the interrupted re-run)", h["executed"])
+	}
+	if fmt.Sprint(h["corpus"]) != "1" {
+		t.Fatalf("corpus count after restart: %v", h["corpus"])
+	}
+
+	// Restart IDs continue after the journal's max.
+	idNext := postJob(t, ts2, engine.JobSpec{In: "corpus:" + digest})
+	var n int
+	if _, err := fmt.Sscanf(idNext, "job-%d", &n); err != nil || n <= 77 {
+		t.Fatalf("post-restart id %q does not continue the journal sequence", idNext)
+	}
+	waitDone(t, ts2, idNext)
+}
+
+// TestGracefulCloseGrace checks CloseGrace drains running jobs within
+// the deadline and reports an exhausted deadline honestly.
+func TestGracefulCloseGrace(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeInput(t, dir)
+	srv := newServer(engine.Config{Workers: 1}, 1, 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	id := postJob(t, ts, engine.JobSpec{In: inPath})
+	if !srv.CloseGrace(30 * time.Second) {
+		t.Fatal("drain did not complete")
+	}
+	// The submitted job finished during the drain.
+	var j job
+	if err := json.Unmarshal(getBody(t, ts.URL+"/jobs/"+id), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != stateDone {
+		t.Fatalf("job state after drain: %s", j.State)
+	}
+	// Submissions after close are refused.
+	body, _ := json.Marshal(engine.JobSpec{In: inPath})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: status %d", resp.StatusCode)
+	}
+	// Closing again is a no-op.
+	if !srv.CloseGrace(time.Millisecond) {
+		t.Fatal("second close reported failure")
+	}
+}

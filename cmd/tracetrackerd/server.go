@@ -2,11 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/trace"
 )
@@ -19,6 +26,10 @@ const (
 	stateFailed  = "failed"
 )
 
+// corpusScheme prefixes job inputs that name an ingested trace by
+// digest instead of a server-side path.
+const corpusScheme = "corpus:"
+
 // job is one queued batch reconstruction and its lifecycle record.
 type job struct {
 	ID        string         `json:"id"`
@@ -29,9 +40,15 @@ type job struct {
 	Started   *time.Time     `json:"started,omitempty"`
 	Finished  *time.Time     `json:"finished,omitempty"`
 	Spec      engine.JobSpec `json:"spec"`
-	Report    *jobReport     `json:"report,omitempty"`
-	OutPath   string         `json:"out_path,omitempty"`
-	ResultURL string         `json:"result_url,omitempty"`
+	// Digest is the corpus input digest for corpus: jobs ("" for
+	// server-side path inputs).
+	Digest string `json:"digest,omitempty"`
+	// Cached reports the result came from the result cache without a
+	// reconstruction.
+	Cached    bool       `json:"cached,omitempty"`
+	Report    *jobReport `json:"report,omitempty"`
+	OutPath   string     `json:"out_path,omitempty"`
+	ResultURL string     `json:"result_url,omitempty"`
 
 	result *engine.JobResult
 }
@@ -68,13 +85,20 @@ func newJobReport(r *engine.Report) *jobReport {
 }
 
 // server is the tracetrackerd HTTP API: a bounded pool of job
-// executors over the sharded reconstruction engine.
+// executors over the sharded reconstruction engine, backed (when a
+// data directory is attached) by the content-addressed corpus store,
+// its result cache, and a crash-recovery journal.
 //
-//	POST /jobs              submit a JobSpec, returns {"id": ...}
-//	GET  /jobs              list all jobs (most recent first)
-//	GET  /jobs/{id}         job status + report
-//	GET  /jobs/{id}/result  the reconstructed trace
-//	GET  /healthz           liveness + queue depth
+//	POST /jobs                  submit a JobSpec, returns {"id": ...}
+//	GET  /jobs                  list all jobs (most recent first)
+//	GET  /jobs/{id}             job status + report
+//	GET  /jobs/{id}/result      the reconstructed trace
+//	POST /corpus (also PUT)     ingest a trace (streaming body, dedup by digest)
+//	GET  /corpus                list ingested traces
+//	GET  /corpus/{digest}       entry metadata (unique prefix ok)
+//	GET  /corpus/{digest}/data  the trace bytes
+//	GET  /healthz               liveness + queue depth + cache counters
+//
 // Retention bounds: a long-running daemon must not accumulate every
 // result it ever produced.
 const (
@@ -92,14 +116,25 @@ type server struct {
 	mux           *http.ServeMux
 	retainResults int
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	nextID int
-	closed bool
+	// store and jnl are attached by openData before serving (nil when
+	// the daemon runs without -data); immutable afterwards.
+	store *corpus.Store
+	jnl   *journal
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	nextID    int
+	closed    bool
+	executed  int64
+	cacheHits int64
 
 	queue chan *job
 	wg    sync.WaitGroup
+	// stopRequeue aborts a journal-replay enqueue still in progress at
+	// shutdown; requeueDone is closed when that enqueue has stopped.
+	stopRequeue chan struct{}
+	requeueDone chan struct{}
 }
 
 // newServer builds a server executing up to concurrent jobs at once,
@@ -112,23 +147,143 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 	if retainResults <= 0 {
 		retainResults = defaultRetainResults
 	}
+	requeueDone := make(chan struct{})
+	close(requeueDone) // no replay in progress until openData
 	s := &server{
 		base:          base,
 		mux:           http.NewServeMux(),
 		retainResults: retainResults,
 		jobs:          make(map[string]*job),
 		queue:         make(chan *job, 1024),
+		stopRequeue:   make(chan struct{}),
+		requeueDone:   requeueDone,
 	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /corpus", s.handleCorpusIngest)
+	s.mux.HandleFunc("PUT /corpus", s.handleCorpusIngest)
+	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
+	s.mux.HandleFunc("GET /corpus/{digest}", s.handleCorpusInfo)
+	s.mux.HandleFunc("GET /corpus/{digest}/data", s.handleCorpusData)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for i := 0; i < concurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// openData attaches the corpus store, result cache and job journal
+// rooted at dir, then replays the journal: finished jobs are restored
+// (their results resolve from the recorded output path or the result
+// cache), interrupted ones re-queue. Call before serving traffic.
+func (s *server) openData(dir string) error {
+	store, err := corpus.Open(dir)
+	if err != nil {
+		return err
+	}
+	jnl, recs, err := openJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		return err
+	}
+	s.store = store
+	s.jnl = jnl
+	s.replay(recs)
+	return nil
+}
+
+// replay rebuilds job state from journal records.
+func (s *server) replay(recs []journalRecord) {
+	var requeue []*job
+	s.mu.Lock()
+	for _, rec := range recs {
+		switch rec.Op {
+		case journalSubmit:
+			if rec.Spec == nil || rec.ID == "" {
+				continue
+			}
+			if suffix, ok := strings.CutPrefix(rec.ID, "job-"); ok {
+				if n, err := strconv.Atoi(suffix); err == nil && n > s.nextID {
+					s.nextID = n
+				}
+			}
+			if _, dup := s.jobs[rec.ID]; dup {
+				continue
+			}
+			j := &job{
+				ID:        rec.ID,
+				Name:      rec.Spec.Name,
+				State:     stateQueued,
+				Submitted: rec.Time,
+				Spec:      *rec.Spec,
+				Digest:    rec.Digest,
+			}
+			s.jobs[j.ID] = j
+			s.order = append(s.order, j.ID)
+		case journalDone:
+			j, ok := s.jobs[rec.ID]
+			if !ok {
+				continue
+			}
+			t := rec.Time
+			j.State = stateDone
+			j.Finished = &t
+			j.Report = rec.Report
+			j.Cached = rec.Cached
+			j.OutPath = ""
+			if rec.OutPath != "" {
+				if _, err := os.Stat(rec.OutPath); err == nil {
+					j.OutPath = rec.OutPath
+				}
+			}
+			if j.OutPath == "" && rec.Key != "" && s.store != nil {
+				if p, _, ok := s.store.LookupResult(rec.Key); ok {
+					j.OutPath = p
+					j.Cached = true
+				}
+			}
+			if j.OutPath != "" {
+				j.ResultURL = "/jobs/" + j.ID + "/result"
+			}
+		case journalFail:
+			j, ok := s.jobs[rec.ID]
+			if !ok {
+				continue
+			}
+			t := rec.Time
+			j.State = stateFailed
+			j.Finished = &t
+			j.Error = rec.Error
+		}
+	}
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == stateQueued {
+			requeue = append(requeue, j)
+		}
+	}
+	s.mu.Unlock()
+	if len(requeue) == 0 {
+		return
+	}
+	// Enqueue in the background: a backlog larger than the queue
+	// buffer must not block startup (the listener comes up after
+	// replay). Shutdown aborts the enqueue via stopRequeue; jobs not
+	// yet enqueued stay submit-only in the journal and re-run on the
+	// next start.
+	done := make(chan struct{})
+	s.requeueDone = done
+	go func() {
+		defer close(done)
+		for _, j := range requeue {
+			select {
+			case s.queue <- j:
+			case <-s.stopRequeue:
+				return
+			}
+		}
+	}()
 }
 
 // ServeHTTP implements http.Handler.
@@ -138,17 +293,97 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close stops accepting submissions and waits for the executors to
 // finish every queued and running job.
-func (s *server) Close() {
+func (s *server) Close() { s.CloseGrace(0) }
+
+// CloseGrace stops accepting submissions and drains the executors,
+// waiting at most d (<=0 = forever). It reports whether the drain
+// completed; on false, still-running jobs keep only a submit record in
+// the journal and therefore re-run on the next start. The journal is
+// flushed and closed either way.
+func (s *server) CloseGrace(d time.Duration) bool {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
 	s.closed = true
 	s.mu.Unlock()
-	// Safe: handleSubmit only sends to the queue under s.mu after
-	// checking closed, so no send can race this close.
+	// Stop a replay enqueue before closing the queue — its sends are
+	// the only ones outside s.mu. handleSubmit sends under s.mu after
+	// checking closed, so no other send can race the close.
+	close(s.stopRequeue)
+	<-s.requeueDone
 	close(s.queue)
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	drained := true
+	if d > 0 {
+		select {
+		case <-done:
+		case <-time.After(d):
+			drained = false
+		}
+	} else {
+		<-done
+	}
+	if s.jnl != nil {
+		if drained {
+			// Clean shutdown: rewrite the journal to just the retained
+			// jobs so it stays bounded across the daemon's lifetime.
+			s.jnl.compactAndClose(s.journalSnapshot())
+		} else {
+			// Executors may still be running; leave the append-only
+			// form so their interrupted jobs re-run on the next start.
+			s.jnl.close()
+		}
+	}
+	return drained
 }
 
-// worker executes queued jobs one at a time.
+// journalSnapshot rebuilds the minimal journal for the retained jobs:
+// one submit record each, plus a finish record for completed ones. The
+// caller must have drained the executors.
+func (s *server) journalSnapshot() []journalRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]journalRecord, 0, 2*len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		recs = append(recs, journalRecord{
+			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
+		})
+		fin := j.Submitted
+		if j.Finished != nil {
+			fin = *j.Finished
+		}
+		switch j.State {
+		case stateDone:
+			key := ""
+			if j.Digest != "" {
+				// Same key the executor used: the fingerprint ignores
+				// the In form, so the corpus: spec digests identically.
+				key = engine.CacheKey(j.Digest, j.Spec)
+			}
+			recs = append(recs, journalRecord{
+				Op: journalDone, ID: j.ID, Time: fin,
+				Key: key, OutPath: j.OutPath, Cached: j.Cached, Report: j.Report,
+			})
+		case stateFailed:
+			recs = append(recs, journalRecord{
+				Op: journalFail, ID: j.ID, Time: fin, Error: j.Error,
+			})
+		}
+	}
+	return recs
+}
+
+// worker executes queued jobs one at a time, short-circuiting corpus
+// jobs whose (input digest, spec fingerprint) key is already in the
+// result cache.
 func (s *server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -158,23 +393,55 @@ func (s *server) worker() {
 		j.Started = &now
 		s.mu.Unlock()
 
-		res, err := engine.RunJob(s.base, j.Spec)
+		var res *engine.JobResult
+		var err error
+		hit := false
+		key := ""
+		runSpec := j.Spec
+		if j.Digest != "" {
+			if s.store == nil {
+				err = fmt.Errorf("job %s has corpus input but the daemon runs without -data", j.ID)
+			} else if p, perr := s.store.BlobPath(j.Digest); perr != nil {
+				err = perr
+			} else {
+				runSpec.In = p
+				key = engine.CacheKey(j.Digest, runSpec)
+				res, hit, err = engine.RunJobCached(s.base, runSpec, j.Digest, s.store)
+			}
+		} else {
+			res, err = engine.RunJob(s.base, runSpec)
+		}
 
 		fin := time.Now()
+		rec := journalRecord{ID: j.ID, Time: fin, Key: key, Cached: hit}
 		s.mu.Lock()
 		j.Finished = &fin
 		if err != nil {
 			j.State = stateFailed
 			j.Error = err.Error()
+			rec.Op = journalFail
+			rec.Error = j.Error
 		} else {
+			if hit {
+				s.cacheHits++
+			} else {
+				s.executed++
+			}
 			j.State = stateDone
+			j.Cached = hit
 			j.result = res
 			j.Report = newJobReport(res.Report)
 			j.OutPath = res.OutPath
 			j.ResultURL = "/jobs/" + j.ID + "/result"
+			rec.Op = journalDone
+			rec.OutPath = res.OutPath
+			rec.Report = j.Report
 		}
 		s.prune()
 		s.mu.Unlock()
+		if s.jnl != nil {
+			s.jnl.append(rec)
+		}
 	}
 }
 
@@ -219,6 +486,39 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
+	digest := ""
+	if rest, ok := strings.CutPrefix(spec.In, corpusScheme); ok {
+		if s.store == nil {
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("corpus inputs need the daemon started with -data"))
+			return
+		}
+		e, err := s.store.Resolve(rest)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		// "auto" means "infer it" — for corpus inputs the ingested
+		// format is authoritative, same as an empty informat.
+		if spec.InFormat != "" && spec.InFormat != "auto" && spec.InFormat != e.Format {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("informat %q conflicts with ingested format %q", spec.InFormat, e.Format))
+			return
+		}
+		spec.InFormat = e.Format
+		// Canonicalize to the full digest so the persisted spec is
+		// self-describing and replay-stable.
+		spec.In = corpusScheme + e.Digest
+		digest = e.Digest
+	} else if spec.InFormat == "auto" && spec.In != "" {
+		// Server-side path input: resolve the sniff at submit so the
+		// persisted spec carries a concrete format.
+		detected, err := trace.DetectFile(spec.In)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.InFormat = detected
+	}
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -237,6 +537,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		State:     stateQueued,
 		Submitted: time.Now(),
 		Spec:      spec,
+		Digest:    digest,
 	}
 	// The non-blocking send happens under s.mu so it is atomic with
 	// the closed check above (Close sets closed before closing the
@@ -248,6 +549,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
 	default:
+	}
+	if queued && s.jnl != nil {
+		// Still under s.mu: a worker cannot pass its state-update lock
+		// (and so cannot journal this job's finish) until we release,
+		// which keeps the submit record strictly before its finish
+		// record — replay depends on that order.
+		s.jnl.append(journalRecord{
+			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
+		})
 	}
 	s.mu.Unlock()
 	if !queued {
@@ -345,6 +655,80 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// requireStore answers 503 and returns nil when no data directory is
+// attached.
+func (s *server) requireStore(w http.ResponseWriter) *corpus.Store {
+	if s.store == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("corpus store disabled; start the daemon with -data"))
+		return nil
+	}
+	return s.store
+}
+
+func (s *server) handleCorpusIngest(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	entry, created, err := store.Ingest(r.Body, r.URL.Query().Get("format"))
+	if err != nil {
+		// Undecodable uploads are the client's fault; anything else
+		// (disk full, unwritable store) is ours.
+		code := http.StatusInternalServerError
+		if errors.Is(err, corpus.ErrBadTrace) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(map[string]any{"created": created, "entry": entry})
+}
+
+func (s *server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	writeJSON(w, store.Entries())
+}
+
+func (s *server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	e, err := store.Resolve(r.PathValue("digest"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, e)
+}
+
+func (s *server) handleCorpusData(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	rc, e, err := store.OpenBlob(r.PathValue("digest"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer rc.Close()
+	if e.Format == "bin" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(e.Size, 10))
+	io.Copy(w, rc)
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queued, running := 0, 0
@@ -357,13 +741,20 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	total := len(s.jobs)
+	executed, hits := s.executed, s.cacheHits
 	s.mu.Unlock()
-	writeJSON(w, map[string]any{
-		"ok":      true,
-		"jobs":    total,
-		"queued":  queued,
-		"running": running,
-	})
+	health := map[string]any{
+		"ok":         true,
+		"jobs":       total,
+		"queued":     queued,
+		"running":    running,
+		"executed":   executed,
+		"cache_hits": hits,
+	}
+	if s.store != nil {
+		health["corpus"] = s.store.Len()
+	}
+	writeJSON(w, health)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -358,4 +358,3 @@ func TestJobList(t *testing.T) {
 		t.Fatalf("want %s first, got %s", id2, jobs[0].ID)
 	}
 }
-

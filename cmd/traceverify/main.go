@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"time"
 
@@ -27,7 +26,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input trace path (omit to self-generate)")
-	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc"`)
+	informat := flag.String("informat", "csv", `input format: "csv", "bin", "msrc", "spc", or "auto" (content sniffing)`)
 	wl := flag.String("workload", "ikki", "workload family for self-generation")
 	ops := flag.Int("ops", 20000, "instructions for self-generation")
 	period := flag.Duration("period", 0, "single injected idle period (0 = paper's 100us..100ms sweep)")
@@ -80,19 +79,7 @@ func loadOrGenerate(path, format, wl string, ops int) (*trace.Trace, error) {
 			return nil, err
 		}
 		defer f.Close()
-		var r io.Reader = f
-		switch format {
-		case "csv":
-			return trace.ReadCSV(r)
-		case "bin":
-			return trace.ReadBinary(r)
-		case "msrc":
-			return trace.ReadMSRC(r)
-		case "spc":
-			return trace.ReadSPC(r)
-		default:
-			return nil, fmt.Errorf("unknown input format %q", format)
-		}
+		return trace.ReadAuto(format, f)
 	}
 	p, ok := workload.Lookup(wl)
 	if !ok {

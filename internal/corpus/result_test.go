@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestResultCacheRoundTrip stores, looks up and reopens a cached
+// result with its note.
+func TestResultCacheRoundTrip(t *testing.T) {
+	s := openStore(t)
+	key := strings.Repeat("12", 32)
+	digest := strings.Repeat("34", 32)
+	note := []byte(`{"spec":{"method":"tracetracker"}}`)
+
+	if _, _, ok := s.LookupResult(key); ok {
+		t.Fatal("lookup hit before store")
+	}
+	path, err := s.StoreResult(key, digest, note, func(w io.Writer) error {
+		_, err := w.Write([]byte("reconstructed bytes"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, gotNote, ok := s.LookupResult(key)
+	if !ok || gotPath != path {
+		t.Fatalf("lookup: ok=%v path=%q", ok, gotPath)
+	}
+	// The sidecar is stored indented, so the note round-trips as
+	// equivalent JSON, not identical bytes.
+	var wantC, gotC bytes.Buffer
+	if err := json.Compact(&wantC, note); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&gotC, gotNote); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotC.Bytes(), wantC.Bytes()) {
+		t.Fatalf("note: %s", gotNote)
+	}
+	rc, meta, err := s.OpenResult(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "reconstructed bytes" {
+		t.Fatalf("bytes: %q", data)
+	}
+	if meta.Key != key || meta.InputDigest != digest {
+		t.Fatalf("meta: %+v", meta)
+	}
+}
+
+// TestResultCacheIdempotent keeps the first result when the same key
+// is stored twice, and never calls the second writer's fill after the
+// first landed.
+func TestResultCacheIdempotent(t *testing.T) {
+	s := openStore(t)
+	key := strings.Repeat("ab", 32)
+	if _, err := s.StoreResult(key, strings.Repeat("00", 32), nil, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StoreResult(key, strings.Repeat("00", 32), nil, func(w io.Writer) error {
+		t.Fatal("fill ran for an existing key")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := s.OpenResult(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, _ := io.ReadAll(rc)
+	if string(data) != "first" {
+		t.Fatalf("bytes: %q", data)
+	}
+}
+
+// TestResultCacheValidation rejects non-hex keys and non-JSON notes,
+// and a failed fill leaves nothing behind.
+func TestResultCacheValidation(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.StoreResult("../escape", "d", nil, nil); err == nil {
+		t.Fatal("non-hex key accepted")
+	}
+	if _, err := s.StoreResult(strings.Repeat("aa", 32), "d", []byte("not json"), nil); err == nil {
+		t.Fatal("non-JSON note accepted")
+	}
+	key := strings.Repeat("bb", 32)
+	if _, err := s.StoreResult(key, "d", nil, func(w io.Writer) error {
+		return io.ErrClosedPipe
+	}); err == nil {
+		t.Fatal("failed fill reported success")
+	}
+	if _, _, ok := s.LookupResult(key); ok {
+		t.Fatal("failed fill left a visible result")
+	}
+}

@@ -1,0 +1,384 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Store is a content-addressed trace corpus rooted at one directory.
+// It is safe for concurrent use within a process; concurrent processes
+// sharing a root are safe for ingest and result writes (atomic
+// renames) but each maintains its own in-memory catalogue.
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// Open opens (creating if needed) the store rooted at root. The
+// catalogue is always rebuilt from the object sidecars — the source of
+// truth — so a stale, clobbered or missing index.json (for example
+// after two processes ingested into the same root) can never hide
+// traces that are on disk. index.json is rewritten as a side effect.
+func Open(root string) (*Store, error) {
+	s := &Store{root: root, entries: make(map[string]Entry)}
+	for _, d := range []string{root, s.objectsDir(), s.resultsDir(), s.tmpDir()} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) objectsDir() string { return filepath.Join(s.root, "objects") }
+func (s *Store) resultsDir() string { return filepath.Join(s.root, "results") }
+func (s *Store) tmpDir() string     { return filepath.Join(s.root, "tmp") }
+func (s *Store) indexPath() string  { return filepath.Join(s.root, "index.json") }
+
+func (s *Store) blobPath(digest string) string {
+	return filepath.Join(s.objectsDir(), digest)
+}
+func (s *Store) sidecarPath(digest string) string {
+	return s.blobPath(digest) + ".json"
+}
+
+// index is the serialized catalogue.
+type index struct {
+	Version int              `json:"version"`
+	Entries map[string]Entry `json:"entries"`
+}
+
+// writeIndexLocked rewrites index.json from the catalogue; the caller
+// holds s.mu. The index is a convenience export (one file to read the
+// whole catalogue); the sidecars stay authoritative.
+func (s *Store) writeIndexLocked() error {
+	return writeJSONAtomic(s.tmpDir(), s.indexPath(), index{Version: 1, Entries: s.entries})
+}
+
+// rebuildLocked reconstructs the catalogue from the object sidecars
+// (the source of truth) and rewrites index.json. Sidecars without a
+// blob are skipped; blobs without a sidecar are left for GC.
+func (s *Store) rebuildLocked() error {
+	names, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return err
+	}
+	entries := make(map[string]Entry)
+	for _, de := range names {
+		digest, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok || !isHex(digest) {
+			continue
+		}
+		var e Entry
+		if err := readJSON(s.sidecarPath(digest), &e); err != nil {
+			continue
+		}
+		if e.Digest != digest {
+			continue
+		}
+		if _, err := os.Stat(s.blobPath(digest)); err != nil {
+			continue
+		}
+		entries[digest] = e
+	}
+	s.entries = entries
+	return s.writeIndexLocked()
+}
+
+// Rebuild re-derives the catalogue from the sidecars on disk —
+// recovery from a lost or stale index.json.
+func (s *Store) Rebuild() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildLocked()
+}
+
+// countingWriter counts bytes passed through.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// Ingest streams one trace into the store: the blob is staged to tmp/
+// while a single pass computes the SHA-256 digest and the metadata
+// summary through the format decoder, then lands atomically. format
+// "" or "auto" selects content sniffing. The returned bool is false
+// when the blob was already present (dedup by digest): the existing
+// entry wins and the upload is discarded.
+//
+// A trace that fails to decode, or decodes to zero requests, is
+// rejected and nothing is stored — the corpus only holds traces the
+// pipeline can actually read.
+func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
+	switch format {
+	case "", "auto":
+		var err error
+		format, r, err = trace.SniffFormat(r)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, err)
+		}
+	}
+	tmpf, err := os.CreateTemp(s.tmpDir(), "ingest-*")
+	if err != nil {
+		return Entry{}, false, err
+	}
+	tmpName := tmpf.Name()
+	keep := false
+	defer func() {
+		tmpf.Close()
+		if !keep {
+			os.Remove(tmpName)
+		}
+	}()
+
+	h := sha256.New()
+	cw := &countingWriter{}
+	tee := io.TeeReader(r, io.MultiWriter(h, cw, tmpf))
+	dec, err := trace.NewDecoder(format, tee)
+	if err != nil {
+		// The format hint came from the caller.
+		return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, err)
+	}
+	sum, err := trace.Summarize(dec)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("%w: as %s: %w", ErrBadTrace, format, err)
+	}
+	if sum.Requests == 0 {
+		return Entry{}, false, fmt.Errorf("%w: empty trace", ErrBadTrace)
+	}
+	// Counted binary headers let the decoder stop before EOF; drain the
+	// remainder so the digest and stored blob cover every input byte.
+	if _, err := io.Copy(io.Discard, tee); err != nil {
+		return Entry{}, false, err
+	}
+	if err := tmpf.Close(); err != nil {
+		return Entry{}, false, err
+	}
+
+	digest := hex.EncodeToString(h.Sum(nil))
+	entry := Entry{
+		Digest:       digest,
+		Format:       format,
+		Size:         cw.n,
+		Name:         sum.Meta.Name,
+		Workload:     sum.Meta.Workload,
+		Set:          sum.Meta.Set,
+		TsdevKnown:   sum.Meta.TsdevKnown,
+		Requests:     sum.Requests,
+		Duration:     sum.Duration(),
+		TotalBytes:   sum.TotalBytes,
+		ReadFraction: sum.ReadFraction(),
+		SeqFraction:  sum.SeqFraction(),
+		Ingested:     time.Now().UTC(),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.entries[digest]; ok {
+		return existing, false, nil
+	}
+	if err := os.Rename(tmpName, s.blobPath(digest)); err != nil {
+		return Entry{}, false, err
+	}
+	keep = true
+	if err := writeJSONAtomic(s.tmpDir(), s.sidecarPath(digest), entry); err != nil {
+		return Entry{}, false, err
+	}
+	s.entries[digest] = entry
+	if err := s.writeIndexLocked(); err != nil {
+		return Entry{}, false, err
+	}
+	return entry, true, nil
+}
+
+// IngestFile ingests the trace at path.
+func (s *Store) IngestFile(path, format string) (Entry, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	defer f.Close()
+	return s.Ingest(f, format)
+}
+
+// Entries returns the catalogue sorted by ingest time, then digest.
+func (s *Store) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Ingested.Equal(out[j].Ingested) {
+			return out[i].Ingested.Before(out[j].Ingested)
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}
+
+// Resolve finds the entry for a full digest or a unique prefix.
+func (s *Store) Resolve(prefix string) (Entry, error) {
+	prefix = strings.ToLower(prefix)
+	if !isHex(prefix) {
+		return Entry{}, fmt.Errorf("corpus: %q is not a hex digest", prefix)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[prefix]; ok {
+		return e, nil
+	}
+	var found []Entry
+	for d, e := range s.entries {
+		if strings.HasPrefix(d, prefix) {
+			found = append(found, e)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Entry{}, fmt.Errorf("corpus: no trace with digest %s", prefix)
+	case 1:
+		return found[0], nil
+	default:
+		return Entry{}, fmt.Errorf("corpus: digest prefix %s is ambiguous (%d matches)", prefix, len(found))
+	}
+}
+
+// BlobPath returns the on-disk path of an ingested blob by its full
+// digest.
+func (s *Store) BlobPath(digest string) (string, error) {
+	s.mu.Lock()
+	_, ok := s.entries[digest]
+	s.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("corpus: no trace with digest %s", digest)
+	}
+	return s.blobPath(digest), nil
+}
+
+// OpenBlob opens a blob for reading by digest or unique prefix.
+func (s *Store) OpenBlob(prefix string) (io.ReadCloser, Entry, error) {
+	e, err := s.Resolve(prefix)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	f, err := os.Open(s.blobPath(e.Digest))
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	return f, e, nil
+}
+
+// Len returns the number of catalogued traces.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// GCStats reports what GC removed.
+type GCStats struct {
+	// TmpRemoved counts abandoned staging files.
+	TmpRemoved int
+	// ResultsRemoved counts cached results dropped because their input
+	// digest is gone or their blob/sidecar pair was broken.
+	ResultsRemoved int
+	// ObjectsRemoved counts half-ingested objects (blob or sidecar
+	// missing its partner).
+	ObjectsRemoved int
+}
+
+// GC removes abandoned staging files, half-written object pairs, and
+// cached results whose input trace is no longer in the corpus, then
+// rewrites the index. Run it while no ingest is in flight against the
+// same root (e.g. with the daemon stopped).
+func (s *Store) GC() (GCStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st GCStats
+
+	tmps, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return st, err
+	}
+	for _, de := range tmps {
+		if os.Remove(filepath.Join(s.tmpDir(), de.Name())) == nil {
+			st.TmpRemoved++
+		}
+	}
+
+	// Objects: drop blobs without sidecars and sidecars without blobs.
+	objs, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return st, err
+	}
+	for _, de := range objs {
+		name := de.Name()
+		if digest, ok := strings.CutSuffix(name, ".json"); ok {
+			if _, err := os.Stat(s.blobPath(digest)); err != nil {
+				os.Remove(filepath.Join(s.objectsDir(), name))
+				st.ObjectsRemoved++
+			}
+			continue
+		}
+		if _, err := os.Stat(s.sidecarPath(name)); err != nil {
+			os.Remove(filepath.Join(s.objectsDir(), name))
+			st.ObjectsRemoved++
+		}
+	}
+	if err := s.rebuildLocked(); err != nil {
+		return st, err
+	}
+
+	// Results: drop orphans (input gone) and broken pairs.
+	results, err := os.ReadDir(s.resultsDir())
+	if err != nil {
+		return st, err
+	}
+	for _, de := range results {
+		name := de.Name()
+		key, isMeta := strings.CutSuffix(name, ".json")
+		if !isMeta {
+			if _, err := os.Stat(s.resultMetaPath(name)); err != nil {
+				os.Remove(s.resultPath(name))
+				st.ResultsRemoved++
+			}
+			continue
+		}
+		var meta ResultMeta
+		drop := false
+		if err := readJSON(s.resultMetaPath(key), &meta); err != nil {
+			drop = true
+		} else if _, err := os.Stat(s.resultPath(key)); err != nil {
+			drop = true
+		} else if _, ok := s.entries[meta.InputDigest]; !ok {
+			drop = true
+		}
+		if drop {
+			os.Remove(s.resultPath(key))
+			os.Remove(s.resultMetaPath(key))
+			st.ResultsRemoved++
+		}
+	}
+	return st, nil
+}

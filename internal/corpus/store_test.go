@@ -1,0 +1,341 @@
+package corpus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// sampleTrace builds a small sorted Tsdev-known trace.
+func sampleTrace() *trace.Trace {
+	return &trace.Trace{
+		Name: "corpus-sample", Workload: "w", Set: "FIU", TsdevKnown: true,
+		Requests: []trace.Request{
+			{Arrival: 0, Device: 0, LBA: 100, Sectors: 8, Op: trace.Read, Latency: 90 * time.Microsecond},
+			{Arrival: 500 * time.Microsecond, Device: 0, LBA: 108, Sectors: 8, Op: trace.Read, Latency: 80 * time.Microsecond},
+			{Arrival: time.Millisecond, Device: 1, LBA: 50, Sectors: 16, Op: trace.Write, Latency: 120 * time.Microsecond},
+			{Arrival: 4 * time.Millisecond, Device: 0, LBA: 9999, Sectors: 32, Op: trace.Write, Latency: 200 * time.Microsecond},
+		},
+	}
+}
+
+func csvBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestIngestSummaryAndDigest checks the landed entry: digest over the
+// exact bytes, and the summary matching the whole-trace accessors.
+func TestIngestSummaryAndDigest(t *testing.T) {
+	s := openStore(t)
+	tr := sampleTrace()
+	data := csvBytes(t, tr)
+
+	e, created, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first ingest not created")
+	}
+	sum := sha256.Sum256(data)
+	if e.Digest != hex.EncodeToString(sum[:]) {
+		t.Fatalf("digest: %s", e.Digest)
+	}
+	if e.Format != "csv" || e.Size != int64(len(data)) {
+		t.Fatalf("format/size: %+v", e)
+	}
+	if e.Requests != int64(tr.Len()) || e.Duration != tr.Duration() ||
+		e.TotalBytes != tr.TotalBytes() || e.ReadFraction != tr.ReadFraction() ||
+		e.SeqFraction != tr.SeqFraction() {
+		t.Fatalf("summary: %+v", e)
+	}
+	if e.Name != tr.Name || e.Workload != tr.Workload || e.Set != tr.Set || !e.TsdevKnown {
+		t.Fatalf("meta: %+v", e)
+	}
+
+	// Blob bytes are exactly what went in.
+	rc, got, err := s.OpenBlob(e.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	stored, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, data) {
+		t.Fatal("blob bytes diverge from upload")
+	}
+	if got.Digest != e.Digest {
+		t.Fatalf("OpenBlob entry: %+v", got)
+	}
+}
+
+// TestIngestDedup checks identical bytes land once.
+func TestIngestDedup(t *testing.T) {
+	s := openStore(t)
+	data := csvBytes(t, sampleTrace())
+	e1, created1, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err != nil || !created1 {
+		t.Fatalf("first: %v created=%v", err, created1)
+	}
+	e2, created2, err := s.Ingest(bytes.NewReader(data), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 {
+		t.Fatal("duplicate ingest reported created")
+	}
+	if e2.Digest != e1.Digest {
+		t.Fatalf("digests diverge: %s vs %s", e1.Digest, e2.Digest)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("catalogue size: %d", s.Len())
+	}
+	blobs, _ := os.ReadDir(filepath.Join(s.Root(), "objects"))
+	if len(blobs) != 2 { // blob + sidecar
+		t.Fatalf("objects dir has %d files", len(blobs))
+	}
+	tmps, _ := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("staging leftovers: %d", len(tmps))
+	}
+}
+
+// TestIngestAutoDetect sniffs bin and msrc uploads without a hint.
+func TestIngestAutoDetect(t *testing.T) {
+	s := openStore(t)
+	var bin bytes.Buffer
+	if err := trace.WriteBinary(&bin, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := s.Ingest(bytes.NewReader(bin.Bytes()), "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Format != "bin" {
+		t.Fatalf("bin detected as %q", e.Format)
+	}
+	msrc := "128166372003061629,web,0,Write,8192,4096,501\n128166372003061700,web,0,Read,0,4096,700\n"
+	e2, _, err := s.Ingest(strings.NewReader(msrc), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Format != "msrc" || e2.Requests != 2 {
+		t.Fatalf("msrc: %+v", e2)
+	}
+}
+
+// TestIngestRejects keeps broken uploads out of the store.
+func TestIngestRejects(t *testing.T) {
+	s := openStore(t)
+	for name, in := range map[string]struct {
+		data, format string
+	}{
+		"garbage":      {"not,a,trace\n", "auto"},
+		"empty":        {"", "csv"},
+		"header-only":  {"# tracetracker name=a workload=b set=c tsdev_known=true\n", "csv"},
+		"parse-error":  {"12.5,0,100,8,R,0,0\nbroken line\n", "csv"},
+		"bad-format":   {"12.5,0,100,8,R,0,0\n", "nope"},
+		"zero-sectors": {"", "bin"},
+	} {
+		if _, _, err := s.Ingest(strings.NewReader(in.data), in.format); err == nil {
+			t.Errorf("%s: ingest succeeded", name)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("catalogue not empty: %d", s.Len())
+	}
+	tmps, _ := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("staging leftovers after failed ingests: %d", len(tmps))
+	}
+}
+
+// TestIndexRebuild deletes index.json and checks Open recovers the
+// catalogue from the sidecars, preserving every entry field.
+func TestIndexRebuild(t *testing.T) {
+	s := openStore(t)
+	want, _, err := s.Ingest(bytes.NewReader(csvBytes(t, sampleTrace())), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(s.Root(), "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Resolve(want.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("rebuilt entry diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// Corrupt index also recovers.
+	if err := os.WriteFile(filepath.Join(s.Root(), "index.json"), []byte("{broken"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("recovered catalogue size: %d", s3.Len())
+	}
+}
+
+// TestMultiProcessCatalogue simulates two processes ingesting into the
+// same root: a reopened store must see both traces even though each
+// writer clobbered the other's index.json (the sidecars are
+// authoritative, the index a convenience export).
+func TestMultiProcessCatalogue(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "shared")
+	a, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := sampleTrace()
+	tr2.Requests = tr2.Requests[:2]
+	ea, _, err := a.Ingest(bytes.NewReader(csvBytes(t, sampleTrace())), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, _, err := b.Ingest(bytes.NewReader(csvBytes(t, tr2)), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's catalogue does not see b's ingest (per-process), but a fresh
+	// Open sees everything on disk.
+	fresh, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("reopened catalogue: %d entries", fresh.Len())
+	}
+	for _, d := range []string{ea.Digest, eb.Digest} {
+		if _, err := fresh.Resolve(d); err != nil {
+			t.Fatalf("reopened store lost %s: %v", d, err)
+		}
+	}
+}
+
+// TestIngestErrorsAreBadTrace checks client-caused ingest failures
+// carry the sentinel servers use to pick a 4xx status.
+func TestIngestErrorsAreBadTrace(t *testing.T) {
+	s := openStore(t)
+	for name, in := range map[string]struct {
+		data, format string
+	}{
+		"garbage":    {"not,a,trace\n", "auto"},
+		"empty":      {"", "csv"},
+		"bad-format": {"12.5,0,100,8,R,0,0\n", "nope"},
+	} {
+		_, _, err := s.Ingest(strings.NewReader(in.data), in.format)
+		if !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: error %v does not wrap ErrBadTrace", name, err)
+		}
+	}
+}
+
+// TestResolvePrefix covers unique-prefix, ambiguous and unknown
+// lookups.
+func TestResolvePrefix(t *testing.T) {
+	s := openStore(t)
+	e, _, err := s.Ingest(bytes.NewReader(csvBytes(t, sampleTrace())), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve(e.Digest[:8])
+	if err != nil || got.Digest != e.Digest {
+		t.Fatalf("prefix resolve: %v %+v", err, got)
+	}
+	if _, err := s.Resolve("ffffffff"); err == nil && e.Digest[:8] != "ffffffff" {
+		t.Fatal("unknown prefix resolved")
+	}
+	if _, err := s.Resolve("not-hex!"); err == nil {
+		t.Fatal("non-hex resolved")
+	}
+	if _, err := s.Resolve(""); err == nil {
+		t.Fatal("empty prefix resolved")
+	}
+}
+
+// TestGC removes staging leftovers, orphaned results and broken
+// object pairs while keeping live data.
+func TestGC(t *testing.T) {
+	s := openStore(t)
+	e, _, err := s.Ingest(bytes.NewReader(csvBytes(t, sampleTrace())), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveKey := strings.Repeat("ab", 32)
+	if _, err := s.StoreResult(liveKey, e.Digest, []byte(`{"k":1}`), func(w io.Writer) error {
+		_, err := w.Write([]byte("live result"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orphanKey := strings.Repeat("cd", 32)
+	if _, err := s.StoreResult(orphanKey, strings.Repeat("00", 32), nil, func(w io.Writer) error {
+		_, err := w.Write([]byte("orphan result"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Staging leftover + a sidecar-less blob.
+	if err := os.WriteFile(filepath.Join(s.Root(), "tmp", "ingest-stale"), []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	hexName := strings.Repeat("ef", 32)
+	if err := os.WriteFile(filepath.Join(s.Root(), "objects", hexName), []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TmpRemoved != 1 || st.ResultsRemoved != 1 || st.ObjectsRemoved != 1 {
+		t.Fatalf("gc stats: %+v", st)
+	}
+	if _, _, ok := s.LookupResult(liveKey); !ok {
+		t.Fatal("gc removed a live result")
+	}
+	if _, _, ok := s.LookupResult(orphanKey); ok {
+		t.Fatal("gc kept an orphan result")
+	}
+	if _, err := s.Resolve(e.Digest); err != nil {
+		t.Fatal("gc removed a live object")
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+// Result caching: a JobSpec digests to a fingerprint of exactly the
+// fields that can change the output bytes, and RunJobCached
+// short-circuits a job whose (input digest, fingerprint) key already
+// has a cached output. The cache itself is a pluggable hook
+// (ResultCache) so the engine stays storage-agnostic; the corpus
+// store implements it.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ResultCache stores reconstructed outputs keyed by CacheKey.
+// *corpus.Store implements it.
+type ResultCache interface {
+	// LookupResult returns the on-disk path of the cached output for
+	// key and the note stored with it.
+	LookupResult(key string) (path string, note []byte, ok bool)
+	// StoreResult atomically stores the output produced by write under
+	// key, with a JSON note; storing an existing key is a no-op that
+	// returns the existing path.
+	StoreResult(key, inputDigest string, note []byte, write func(io.Writer) error) (string, error)
+}
+
+// Fingerprint digests the semantic content of the normalized spec:
+// every field that can change the output bytes, and none that cannot.
+// Name only labels the job; In/Out locate rather than shape the data;
+// Parallel and Stream select execution strategies whose outputs are
+// locked byte-identical to the sequential pipeline by the engine
+// tests; and baseline-only knobs are dropped unless their method is
+// selected. Two specs with equal fingerprints run against the same
+// input bytes therefore produce identical outputs.
+func (s JobSpec) Fingerprint() string {
+	n := s.Normalized()
+	n.Name, n.In, n.Out = "", "", ""
+	n.Parallel, n.Stream = 0, false
+	if n.OutFormat != "fio" {
+		n.FIODevice = ""
+	}
+	if n.Method != "fixed-th" {
+		n.ThresholdUS = 0
+	}
+	if n.Method != "acceleration" {
+		n.Factor = 0
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		// A JobSpec is plain data; marshaling cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheKey is the result-cache key for running spec against the input
+// with the given content digest.
+func CacheKey(inputDigest string, spec JobSpec) string {
+	h := sha256.New()
+	io.WriteString(h, "tracetracker-result-v1\x00")
+	io.WriteString(h, inputDigest)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, spec.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheNote is what RunJobCached stores beside each result, so a hit
+// can restore the report and an operator can see what produced a
+// cache file.
+type cacheNote struct {
+	Spec   JobSpec `json:"spec"`
+	Report *Report `json:"report,omitempty"`
+}
+
+// RunJobCached executes one job with result caching: a hit copies the
+// cached output into place (or points the result at the cache file
+// when the spec keeps no output path) without reconstructing anything;
+// a miss runs RunJob and stores the output under the job's key before
+// returning. inputDigest must be the content digest of the bytes at
+// spec.In — the caller (the corpus layer) owns that mapping. The
+// returned bool reports a hit.
+//
+// The engine Config deliberately does not enter the key: its fields
+// either shape scheduling (Workers, shard cuts — byte-identical by
+// the engine's core invariant) or must be held fixed per cache by the
+// caller (Core options).
+func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCache) (*JobResult, bool, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := CacheKey(inputDigest, spec)
+	if path, note, ok := cache.LookupResult(key); ok {
+		// A missing or unreadable note only loses the restored report.
+		var n cacheNote
+		json.Unmarshal(note, &n)
+		if spec.Out != "" {
+			if err := copyFileAtomic(spec.Out, path); err != nil {
+				return nil, false, err
+			}
+			return &JobResult{Report: n.Report, OutPath: spec.Out}, true, nil
+		}
+		return &JobResult{Report: n.Report, OutPath: path}, true, nil
+	}
+
+	res, err := RunJob(cfg, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	note, err := json.Marshal(cacheNote{Spec: spec, Report: res.Report})
+	if err != nil {
+		return nil, false, err
+	}
+	fill := func(w io.Writer) error {
+		if res.Trace != nil {
+			return writeTraceTo(w, spec.OutFormat, spec.FIODevice, res.Trace)
+		}
+		f, err := os.Open(res.OutPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = io.Copy(w, f)
+		return err
+	}
+	path, err := cache.StoreResult(key, inputDigest, note, fill)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: job succeeded but caching its result failed: %w", err)
+	}
+	if res.OutPath == "" {
+		// Point the result at the cached copy: a caller holding the
+		// trace only in memory can evict it and still serve the bytes
+		// from disk.
+		res.OutPath = path
+	}
+	return res, false, nil
+}
+
+// copyFileAtomic lands a copy of src at dst via the engine's partial
+// file + rename discipline.
+func copyFileAtomic(dst, src string) error {
+	return writeAtomically(dst, func(w io.Writer) error {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = io.Copy(w, f)
+		return err
+	})
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// memCache is a minimal ResultCache over a temp directory.
+type memCache struct {
+	dir    string
+	notes  map[string][]byte
+	stores int
+}
+
+func newMemCache(t *testing.T) *memCache {
+	return &memCache{dir: t.TempDir(), notes: make(map[string][]byte)}
+}
+
+func (c *memCache) LookupResult(key string) (string, []byte, bool) {
+	note, ok := c.notes[key]
+	if !ok {
+		return "", nil, false
+	}
+	return filepath.Join(c.dir, key), note, true
+}
+
+func (c *memCache) StoreResult(key, inputDigest string, note []byte, write func(io.Writer) error) (string, error) {
+	if _, ok := c.notes[key]; ok {
+		return filepath.Join(c.dir, key), nil
+	}
+	f, err := os.Create(filepath.Join(c.dir, key))
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return "", err
+	}
+	c.notes[key] = note
+	c.stores++
+	return f.Name(), nil
+}
+
+// TestFingerprintSemantics locks which spec fields enter the job
+// fingerprint: labels, paths and execution strategy stay out,
+// output-shaping fields go in.
+func TestFingerprintSemantics(t *testing.T) {
+	base := JobSpec{In: "/a/in.csv", Method: "tracetracker"}
+	fp := base.Fingerprint()
+
+	same := []JobSpec{
+		{In: "/elsewhere/other.csv", Method: "tracetracker"},
+		{In: "/a/in.csv", Name: "labelled", Method: "tracetracker"},
+		{In: "/a/in.csv", Out: "/tmp/out.csv", Method: "tracetracker"},
+		{In: "/a/in.csv", Parallel: 8, Method: "tracetracker"},
+		{In: "/a/in.csv", Out: "/tmp/o", Stream: true, Method: "tracetracker"},
+		{In: "/a/in.csv"},                                    // method defaults to tracetracker
+		{In: "/a/in.csv", FIODevice: "/dev/sdz"},             // non-fio output ignores the device
+		{In: "/a/in.csv", ThresholdUS: 123},                  // fixed-th-only knob
+		{In: "/a/in.csv", Factor: 9},                         // acceleration-only knob
+		{In: "/a/in.csv", InFormat: "csv", OutFormat: "csv"}, // explicit defaults
+	}
+	for i, s := range same {
+		if got := s.Fingerprint(); got != fp {
+			t.Errorf("variant %d changed the fingerprint", i)
+		}
+	}
+
+	diff := []JobSpec{
+		{In: "/a/in.csv", Method: "dynamic"},
+		{In: "/a/in.csv", Method: "revision"},
+		{In: "/a/in.csv", OutFormat: "bin"},
+		{In: "/a/in.csv", InFormat: "bin"},
+		{In: "/a/in.csv", OutFormat: "fio", FIODevice: "/dev/sdz"},
+		{In: "/a/in.csv", Method: "fixed-th", ThresholdUS: 123},
+		{In: "/a/in.csv", Method: "acceleration", Factor: 9},
+		{In: "/a/in.csv", ReorderWindow: 7},
+	}
+	seen := map[string]int{fp: -1}
+	for i, s := range diff {
+		got := s.Fingerprint()
+		if prev, dup := seen[got]; dup {
+			t.Errorf("variants %d and %d collide", i, prev)
+		}
+		seen[got] = i
+	}
+
+	// Keys separate by input digest too.
+	if CacheKey("d1", base) == CacheKey("d2", base) {
+		t.Error("cache key ignores the input digest")
+	}
+}
+
+// TestRunJobCached is the cache contract: first run executes and
+// stores, second run is a hit serving byte-identical output and the
+// restored report, and a different input digest misses.
+func TestRunJobCached(t *testing.T) {
+	dir := t.TempDir()
+	old := genOld(t, "ikki", 400, true)
+	inPath := filepath.Join(dir, "in.csv")
+	f, err := os.Create(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, old); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cache := newMemCache(t)
+	cfg := testConfig(2, core.Options{})
+	spec := JobSpec{In: inPath}
+
+	res1, hit1, err := RunJobCached(cfg, spec, "digest-a", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 {
+		t.Fatal("first run reported a hit")
+	}
+	if res1.Trace == nil || res1.Report == nil {
+		t.Fatalf("first run result: %+v", res1)
+	}
+	if cache.stores != 1 {
+		t.Fatalf("stores: %d", cache.stores)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteCSV(&want, res1.Trace); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, hit2, err := RunJobCached(cfg, spec, "digest-a", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Fatal("second run missed")
+	}
+	got, err := os.ReadFile(res2.OutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("cached bytes diverge from the first run")
+	}
+	if res2.Report == nil || res2.Report.Requests != res1.Report.Requests {
+		t.Fatalf("restored report: %+v", res2.Report)
+	}
+	if cache.stores != 1 {
+		t.Fatalf("hit stored again: %d", cache.stores)
+	}
+
+	// A hit with an output path materializes the file there.
+	outPath := filepath.Join(dir, "out.csv")
+	specOut := spec
+	specOut.Out = outPath
+	res3, hit3, err := RunJobCached(cfg, specOut, "digest-a", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit3 || res3.OutPath != outPath {
+		t.Fatalf("hit with out path: hit=%v out=%q", hit3, res3.OutPath)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want.Bytes()) {
+		t.Fatal("materialized output diverges")
+	}
+
+	// A different input digest misses and re-executes.
+	_, hit4, err := RunJobCached(cfg, spec, "digest-b", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit4 {
+		t.Fatal("different digest hit")
+	}
+	if cache.stores != 2 {
+		t.Fatalf("stores after second digest: %d", cache.stores)
+	}
+}
+
+// TestRunJobCachedStreaming checks the streaming path lands in the
+// cache too: a streamed job's cached bytes equal its output file.
+func TestRunJobCachedStreaming(t *testing.T) {
+	dir := t.TempDir()
+	old := genOld(t, "ikki", 400, true)
+	inPath := filepath.Join(dir, "in.csv")
+	f, err := os.Create(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, old); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cache := newMemCache(t)
+	outPath := filepath.Join(dir, "out.csv")
+	spec := JobSpec{In: inPath, Out: outPath, Stream: true}
+	res, hit, err := RunJobCached(testConfig(2, core.Options{}), spec, "digest-s", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first streamed run hit")
+	}
+	outBytes, err := os.ReadFile(res.OutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("digest-s", spec)
+	cached, _, ok := cache.LookupResult(key)
+	if !ok {
+		t.Fatal("streamed result not cached")
+	}
+	cachedBytes, err := os.ReadFile(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outBytes, cachedBytes) {
+		t.Fatal("cached streamed bytes diverge from the output file")
+	}
+
+	// An equivalent non-streamed spec hits the streamed result: the
+	// fingerprint folds execution strategy away.
+	plain := JobSpec{In: inPath}
+	_, hitPlain, err := RunJobCached(testConfig(2, core.Options{}), plain, "digest-s", cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hitPlain {
+		t.Fatal("in-memory spec missed the streamed cache entry")
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+// Content sniffing: every supported input format is recognizable from
+// its leading bytes — the binary format by its magic, the text formats
+// by the field layout of the first data record — so tools can accept
+// "-informat auto" and the corpus store can ingest uploads without a
+// format hint.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SniffLen is the longest prefix DetectFormat ever needs: enough to
+// cover leading comments plus one complete data record in any
+// supported text format.
+const SniffLen = 64 << 10
+
+// DetectFormat inspects the leading bytes of a trace (the first
+// SniffLen bytes, or the whole input when shorter) and returns the
+// input format name: "csv", "bin", "msrc" or "spc".
+//
+// The binary magic and the native header comment are unambiguous; bare
+// data records are decided by the first line that parses under exactly
+// the field layout one decoder expects. Degenerate all-numeric lines
+// that would parse under more than one layout resolve in the fixed
+// order native CSV, then MSRC, then SPC.
+func DetectFormat(head []byte) (string, error) {
+	if len(head) >= len(binaryMagic) && bytes.Equal(head[:len(binaryMagic)], binaryMagic[:]) {
+		return "bin", nil
+	}
+	rest := head
+	for len(rest) > 0 {
+		line, tail, complete := cutLine(rest)
+		rest = tail
+		s := strings.TrimSpace(string(line))
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			// The native metadata header identifies the format before
+			// any data; other comments are format-neutral.
+			if strings.HasPrefix(s, "# tracetracker ") {
+				return "csv", nil
+			}
+			continue
+		}
+		if !complete && len(head) >= SniffLen {
+			// The record was cut by the sniff window, not by EOF —
+			// don't guess from a truncated line.
+			break
+		}
+		f := strings.Split(s, ",")
+		switch {
+		case isNativeLine(f):
+			return "csv", nil
+		case isMSRCLine(f):
+			return "msrc", nil
+		case isSPCLine(f):
+			return "spc", nil
+		}
+		return "", fmt.Errorf("trace: unrecognized trace data %q", clip(s, 80))
+	}
+	return "", fmt.Errorf("trace: cannot detect format: no data record in the first %d bytes", SniffLen)
+}
+
+// SniffFormat detects the format of r without losing bytes: it reads
+// at most SniffLen bytes, detects, and returns a reader that replays
+// the consumed prefix followed by the remainder of r.
+func SniffFormat(r io.Reader) (string, io.Reader, error) {
+	head := make([]byte, SniffLen)
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return "", nil, err
+	}
+	head = head[:n]
+	format, derr := DetectFormat(head)
+	if derr != nil {
+		return "", nil, derr
+	}
+	return format, io.MultiReader(bytes.NewReader(head), r), nil
+}
+
+// ReadAuto materializes a whole trace of the named input format,
+// resolving "auto" (or "") by content sniffing first — the shared
+// implementation behind every tool's -informat auto.
+func ReadAuto(format string, r io.Reader) (*Trace, error) {
+	if format == "auto" || format == "" {
+		var err error
+		if format, r, err = SniffFormat(r); err != nil {
+			return nil, err
+		}
+	}
+	return ReadFormat(format, r)
+}
+
+// DetectFile detects the format of a trace file from its head.
+func DetectFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	head := make([]byte, SniffLen)
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return "", err
+	}
+	return DetectFormat(head[:n])
+}
+
+// cutLine splits off the first line of b; complete reports whether the
+// line was terminated by a newline (false only for a trailing
+// fragment).
+func cutLine(b []byte) (line, tail []byte, complete bool) {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+// isNativeLine reports whether f is a native CSV record
+// (arrival_us,device,lba,sectors,op,latency_us,async).
+func isNativeLine(f []string) bool {
+	if len(f) != 7 {
+		return false
+	}
+	_, err := parseNativeFields(f)
+	return err == nil
+}
+
+// isMSRCLine reports whether f is an MSRC record
+// (timestamp,host,disk,op,offset,size,response): the same checks
+// MSRCDecoder.Next applies, without building the request.
+func isMSRCLine(f []string) bool {
+	if len(f) != 7 {
+		return false
+	}
+	if _, err := strconv.ParseInt(f[0], 10, 64); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseUint(f[2], 10, 32); err != nil {
+		return false
+	}
+	if _, err := ParseOp(f[3]); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseUint(f[4], 10, 64); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseUint(f[5], 10, 64); err != nil {
+		return false
+	}
+	_, err := strconv.ParseInt(f[6], 10, 64)
+	return err == nil
+}
+
+// isSPCLine reports whether f is an SPC-1 record
+// (asu,lba,size,op,timestamp[,...]); SPCDecoder trims each field, so
+// the sniff does too.
+func isSPCLine(f []string) bool {
+	if len(f) < 5 {
+		return false
+	}
+	if _, err := strconv.ParseUint(strings.TrimSpace(f[0]), 10, 32); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseUint(strings.TrimSpace(f[1]), 10, 64); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseUint(strings.TrimSpace(f[2]), 10, 64); err != nil {
+		return false
+	}
+	if _, err := ParseOp(strings.TrimSpace(f[3])); err != nil {
+		return false
+	}
+	_, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+	return err == nil
+}
+
+// clip bounds s for error messages.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

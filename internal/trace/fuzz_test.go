@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeCSV drives the native CSV decoder over arbitrary bytes: it
+// must terminate with a clean EOF or a parse error, never panic.
+func FuzzDecodeCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteCSV(&buf, streamSample())
+	f.Add(buf.Bytes())
+	f.Add([]byte("# tracetracker name=a workload=b set=c tsdev_known=true\n"))
+	f.Add([]byte("12.500,0,100,8,R,90.000,0\n"))
+	f.Add([]byte("1,2,3\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewCSVDecoder(bytes.NewReader(data))
+		for {
+			_, err := dec.Next()
+			if err != nil {
+				if err != io.EOF && err.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzDetectFormat checks the sniffer never panics and only reports
+// formats a decoder actually exists for.
+func FuzzDetectFormat(f *testing.F) {
+	var csvBuf, binBuf bytes.Buffer
+	_ = WriteCSV(&csvBuf, streamSample())
+	_ = WriteBinary(&binBuf, streamSample())
+	f.Add(csvBuf.Bytes())
+	f.Add(binBuf.Bytes())
+	f.Add([]byte(msrcSample))
+	f.Add([]byte(spcSample))
+	f.Add([]byte("#\n#\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		format, err := DetectFormat(data)
+		if err != nil {
+			return
+		}
+		if _, derr := NewDecoder(format, bytes.NewReader(data)); derr != nil {
+			t.Fatalf("detected %q but no decoder: %v", format, derr)
+		}
+	})
+}

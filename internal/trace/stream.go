@@ -745,9 +745,9 @@ func (h reorderHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h reorderHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *reorderHeap) Push(x any)        { *h = append(*h, x.(reorderItem)) }
-func (h *reorderHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+func (h reorderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *reorderHeap) Push(x any)   { *h = append(*h, x.(reorderItem)) }
+func (h *reorderHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
 
 // ReorderDecoder wraps a decoder with a bounded min-heap window: as
 // long as no request is displaced by more than window positions from
