@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunAndGate drives the CLI end to end at tiny size: run, write
+// the report, gate against itself (pass), then gate against a doped
+// baseline (fail).
+func TestRunAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cli run is seconds-long")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_cur.json")
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-rev", "cur", "-sizes", "2000", "-workers", "1", "-out", out}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Fatalf("missing write confirmation:\n%s", buf.String())
+	}
+
+	// Self-gate passes.
+	buf.Reset()
+	if err := run([]string{"-compare", out, out}, &buf); err != nil {
+		t.Fatalf("self compare: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate: PASS") {
+		t.Fatalf("expected PASS:\n%s", buf.String())
+	}
+
+	// A baseline claiming 10x the throughput must fail the gate.
+	rep, err := bench.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		rep.Results[i].ReqPerSec *= 10
+	}
+	doped := filepath.Join(dir, "BENCH_doped.json")
+	if err := bench.WriteFile(doped, rep); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"-compare", doped, out}, &buf)
+	if err == nil || !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("doped baseline passed the gate: err=%v\n%s", err, buf.String())
+	}
+
+	// Disjoint reports are a misconfigured gate, not a pass.
+	for i := range rep.Results {
+		rep.Results[i].Name = "renamed/" + rep.Results[i].Name
+	}
+	disjoint := filepath.Join(dir, "BENCH_disjoint.json")
+	if err := bench.WriteFile(disjoint, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", disjoint, out}, &buf); err == nil {
+		t.Fatal("disjoint reports passed the gate")
+	}
+}
+
+// TestBadFlags covers argument validation.
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "one.json"}, &buf); err == nil {
+		t.Fatal("-compare with one arg accepted")
+	}
+	if err := run([]string{"-sizes", "abc"}, &buf); err == nil {
+		t.Fatal("bad -sizes accepted")
+	}
+	if err := run([]string{"-compare", filepath.Join(t.TempDir(), "missing.json"), "x"}, &buf); !os.IsNotExist(errUnwrapAll(err)) {
+		t.Fatalf("missing baseline: %v", err)
+	}
+}
+
+func errUnwrapAll(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+}

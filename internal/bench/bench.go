@@ -1,0 +1,303 @@
+// Package bench is the reproducible performance harness behind
+// cmd/tracebench and the CI perf gate: it generates fixed-seed traces
+// at several sizes, times the codec and reconstruction hot paths with
+// testing.Benchmark, and renders a schema-versioned machine-readable
+// report (BENCH_<rev>.json) that the repo's perf trajectory and the
+// bench-regression CI job consume.
+//
+// Scenario names are stable identifiers — Compare matches baseline
+// and current results by name, so renaming a scenario silently drops
+// it from the gate. Add, don't rename.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump on any
+// field change and teach ReadFile about the old versions explicitly.
+const SchemaVersion = 1
+
+// Report is the root of a BENCH_*.json document.
+type Report struct {
+	SchemaVersion int       `json:"schema_version"`
+	Revision      string    `json:"revision"`
+	GoVersion     string    `json:"go_version"`
+	GOOS          string    `json:"goos"`
+	GOARCH        string    `json:"goarch"`
+	CPUs          int       `json:"cpus"`
+	Quick         bool      `json:"quick"`
+	Timestamp     time.Time `json:"timestamp"`
+	// PeakRSSBytes is the process's peak resident set after the run
+	// (Linux VmHWM; 0 where unavailable).
+	PeakRSSBytes int64    `json:"peak_rss_bytes,omitempty"`
+	Results      []Result `json:"results"`
+}
+
+// Result is one timed scenario.
+type Result struct {
+	// Name is the stable scenario identifier, e.g.
+	// "decode/csv/size=200k" or "e2e/bin/size=200k/workers=1".
+	Name string `json:"name"`
+	// Requests is the number of trace requests processed per op.
+	Requests int64 `json:"requests"`
+	// Bytes is the on-disk input bytes processed per op (0 when the
+	// scenario has no byte-stream side).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Workers is the engine worker count (0 for codec scenarios).
+	Workers int `json:"workers,omitempty"`
+	// NsPerOp is the measured wall time per op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerSec is Bytes-based throughput (0 when Bytes is 0).
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// ReqPerSec is request throughput, the gate's primary metric.
+	ReqPerSec float64 `json:"req_per_sec"`
+	// AllocsPerReq and AllocBytesPerReq are amortized per-request
+	// allocation costs.
+	AllocsPerReq     float64 `json:"allocs_per_req"`
+	AllocBytesPerReq float64 `json:"alloc_bytes_per_req"`
+}
+
+// Options configures a Run.
+type Options struct {
+	// Sizes are the request counts to generate traces at (default
+	// 200k, plus 1M when Quick is off).
+	Sizes []int
+	// Workers are the engine worker counts to time (default 1 and
+	// GOMAXPROCS).
+	Workers []int
+	// Quick trims sizes for the CI gate.
+	Quick bool
+	// Revision labels the report (e.g. a git commit).
+	Revision string
+	// Log, when non-nil, receives one line per finished scenario.
+	Log func(string)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{200_000}
+		if !o.Quick {
+			o.Sizes = append(o.Sizes, 1_000_000)
+		}
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1}
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			o.Workers = append(o.Workers, n)
+		}
+	}
+	if o.Revision == "" {
+		o.Revision = "dev"
+	}
+	return o
+}
+
+// GenerateTrace synthesizes the deterministic Tsdev-known benchmark
+// trace: an MSNFS-profile application executed on the paper's OLD
+// device, the same construction the engine benchmarks use, with a
+// fixed seed so every run and every machine times identical input.
+func GenerateTrace(n int) (*trace.Trace, error) {
+	p, ok := workload.Lookup("MSNFS")
+	if !ok {
+		return nil, fmt.Errorf("bench: MSNFS workload profile missing")
+	}
+	app := workload.Generate(p, workload.GenOptions{
+		Ops:  n,
+		Seed: workload.TraceSeed("tracebench", 0),
+	})
+	res := app.Execute(device.NewHDD(device.DefaultHDDConfig()))
+	res.Trace.Name = fmt.Sprintf("tracebench-%d", n)
+	return res.Trace, nil
+}
+
+// sizeLabel renders a request count compactly ("200k", "1m").
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dm", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// measure converts a testing.Benchmark run into a Result.
+func measure(name string, reqs int64, inBytes int64, workers int, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := Result{
+		Name:     name,
+		Requests: reqs,
+		Bytes:    inBytes,
+		Workers:  workers,
+		NsPerOp:  ns,
+	}
+	if ns > 0 {
+		res.ReqPerSec = float64(reqs) / (ns / 1e9)
+		if inBytes > 0 {
+			res.MBPerSec = float64(inBytes) / 1e6 / (ns / 1e9)
+		}
+	}
+	if reqs > 0 {
+		res.AllocsPerReq = float64(r.AllocsPerOp()) / float64(reqs)
+		res.AllocBytesPerReq = float64(r.AllocedBytesPerOp()) / float64(reqs)
+	}
+	return res
+}
+
+// Run executes the suite and assembles the report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Revision:      opts.Revision,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.GOMAXPROCS(0),
+		Quick:         opts.Quick,
+		Timestamp:     time.Now().UTC(),
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			opts.Log(fmt.Sprintf(format, args...))
+		}
+	}
+	add := func(r Result) {
+		rep.Results = append(rep.Results, r)
+		logf("%-44s %10.0f req/s  %8.1f MB/s  %7.4f allocs/req",
+			r.Name, r.ReqPerSec, r.MBPerSec, r.AllocsPerReq)
+	}
+
+	workers := dedupWorkers(opts.Workers)
+	for _, size := range opts.Sizes {
+		tr, err := GenerateTrace(size)
+		if err != nil {
+			return nil, err
+		}
+		reqs := int64(tr.Len())
+		sz := sizeLabel(size)
+
+		var csvBuf, binBuf bytes.Buffer
+		if err := trace.WriteCSV(&csvBuf, tr); err != nil {
+			return nil, err
+		}
+		if err := trace.WriteBinary(&binBuf, tr); err != nil {
+			return nil, err
+		}
+		csvData, binData := csvBuf.Bytes(), binBuf.Bytes()
+
+		decode := func(format string, data []byte) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dec, err := trace.NewDecoder(format, bytes.NewReader(data))
+					if err != nil {
+						b.Fatal(err)
+					}
+					var batch [512]trace.Request
+					n := 0
+					for {
+						k, err := trace.DecodeBatch(dec, batch[:])
+						n += k
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					if int64(n) != reqs {
+						b.Fatalf("decoded %d of %d", n, reqs)
+					}
+				}
+			}
+		}
+		add(measure(fmt.Sprintf("decode/csv/size=%s", sz), reqs, int64(len(csvData)), 0, decode("csv", csvData)))
+		add(measure(fmt.Sprintf("decode/bin/size=%s", sz), reqs, int64(len(binData)), 0, decode("bin", binData)))
+
+		encode := func(format string) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					enc, err := trace.NewEncoder(format, io.Discard, "/dev/bench")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := trace.EncodeTrace(enc, tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		add(measure(fmt.Sprintf("encode/csv/size=%s", sz), reqs, int64(len(csvData)), 0, encode("csv")))
+		add(measure(fmt.Sprintf("encode/bin/size=%s", sz), reqs, int64(len(binData)), 0, encode("bin")))
+
+		for _, w := range workers {
+			eng := engine.New(engine.Config{Workers: w})
+			add(measure(fmt.Sprintf("reconstruct/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						out, _, err := eng.Reconstruct(tr)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if out.Len() != tr.Len() {
+							b.Fatal("request count mismatch")
+						}
+					}
+				}))
+
+			e2e := func(format string, data []byte) func(b *testing.B) {
+				return func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						dec, err := trace.NewDecoder(format, bytes.NewReader(data))
+						if err != nil {
+							b.Fatal(err)
+						}
+						rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if rep.Requests != reqs {
+							b.Fatalf("reconstructed %d of %d", rep.Requests, reqs)
+						}
+					}
+				}
+			}
+			add(measure(fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, e2e("bin", binData)))
+			add(measure(fmt.Sprintf("e2e/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, e2e("csv", csvData)))
+		}
+	}
+	rep.PeakRSSBytes = readPeakRSS()
+	return rep, nil
+}
+
+// dedupWorkers sorts and deduplicates the worker counts.
+func dedupWorkers(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range in {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

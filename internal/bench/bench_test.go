@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSchemaRoundTrip locks the BENCH_*.json schema: a report written
+// by WriteFile reads back identical through ReadFile.
+func TestSchemaRoundTrip(t *testing.T) {
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Revision:      "abc1234",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		CPUs:          4,
+		Quick:         true,
+		Timestamp:     time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC),
+		PeakRSSBytes:  123 << 20,
+		Results: []Result{
+			{
+				Name: "decode/csv/size=200k", Requests: 200_000, Bytes: 7_000_000,
+				NsPerOp: 17e6, MBPerSec: 411.7, ReqPerSec: 11.7e6,
+				AllocsPerReq: 0, AllocBytesPerReq: 0.78,
+			},
+			{
+				Name: "e2e/bin/size=200k/workers=1", Requests: 200_000, Bytes: 6_800_000,
+				Workers: 1, NsPerOp: 31e6, MBPerSec: 219, ReqPerSec: 6.4e6,
+				AllocsPerReq: 0.004, AllocBytesPerReq: 3.1,
+			},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+// TestSchemaVersionRejected checks a future-versioned file fails
+// loudly rather than gating against garbage.
+func TestSchemaVersionRejected(t *testing.T) {
+	rep := &Report{SchemaVersion: SchemaVersion + 1, Revision: "x"}
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("future schema accepted: %v", err)
+	}
+}
+
+// TestCompare covers the gate decisions: within tolerance, throughput
+// drop, alloc increase, and the matched-scenario count.
+func TestCompare(t *testing.T) {
+	mk := func(name string, reqPerSec, allocs float64) Result {
+		return Result{Name: name, ReqPerSec: reqPerSec, AllocsPerReq: allocs}
+	}
+	baseline := &Report{SchemaVersion: SchemaVersion, Results: []Result{
+		mk("a", 1000, 0),
+		mk("b", 1000, 0),
+		mk("c", 1000, 0.5),
+		mk("full-only", 1000, 0),
+	}}
+	current := &Report{SchemaVersion: SchemaVersion, Results: []Result{
+		mk("a", 900, 0.005), // -10%, noise allocs: fine
+		mk("b", 800, 0),     // -20%: throughput regression
+		mk("c", 2000, 1.6),  // faster but now allocates: regression
+		mk("quick-only", 1, 0),
+	}}
+	regs, compared := Compare(baseline, current, DefaultTolerance())
+	if compared != 3 {
+		t.Fatalf("compared %d scenarios, want 3", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Name != "b" || regs[0].Metric != "req_per_sec" {
+		t.Fatalf("first regression: %+v", regs[0])
+	}
+	if regs[1].Name != "c" || regs[1].Metric != "allocs_per_req" {
+		t.Fatalf("second regression: %+v", regs[1])
+	}
+	for _, r := range regs {
+		if r.String() == "" {
+			t.Fatal("empty regression rendering")
+		}
+	}
+}
+
+// TestRunSmoke runs the suite at a tiny size so CI exercises the
+// whole harness (generation, all scenarios, report assembly) in a few
+// seconds.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is seconds-long")
+	}
+	rep, err := Run(Options{Sizes: []int{2000}, Workers: []int{1}, Quick: true, Revision: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || rep.Revision != "smoke" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	want := []string{
+		"decode/csv/size=2k", "decode/bin/size=2k",
+		"encode/csv/size=2k", "encode/bin/size=2k",
+		"reconstruct/size=2k/workers=1",
+		"e2e/bin/size=2k/workers=1", "e2e/csv/size=2k/workers=1",
+	}
+	names := map[string]Result{}
+	for _, r := range rep.Results {
+		names[r.Name] = r
+	}
+	for _, n := range want {
+		r, ok := names[n]
+		if !ok {
+			t.Fatalf("scenario %s missing from report (have %d results)", n, len(rep.Results))
+		}
+		if r.ReqPerSec <= 0 || r.Requests != 2000 {
+			t.Fatalf("scenario %s: implausible result %+v", n, r)
+		}
+	}
+	// The tentpole property at harness level: steady-state decode does
+	// not allocate per request. Tiny sizes amortize the per-op decoder
+	// setup to well under one alloc per request.
+	for _, n := range []string{"decode/csv/size=2k", "decode/bin/size=2k"} {
+		if a := names[n].AllocsPerReq; a > 0.05 {
+			t.Fatalf("%s allocates %.4f per request", n, a)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+// BENCH_*.json serialization and the regression comparison the CI
+// gate runs. The file layout is versioned by Report.SchemaVersion;
+// ReadFile rejects versions it does not understand, so a gate never
+// silently compares incompatible documents.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteFile renders rep as indented JSON at path (atomic enough for
+// CI artifact use: full rewrite, no partial appends).
+func WriteFile(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// ReadFile parses a BENCH_*.json document, enforcing the schema
+// version.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema version %d, this binary understands %d",
+			path, rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// Tolerance bounds how much a current run may regress from the
+// baseline before Compare flags it.
+type Tolerance struct {
+	// MaxThroughputDrop is the allowed fractional drop in req/s
+	// (0.15 = fail below 85% of baseline).
+	MaxThroughputDrop float64
+	// AllocsPerReqSlack is the allowed absolute allocs/req increase;
+	// anything above it fails. Kept just over zero to absorb counter
+	// noise on amortized paths while still catching any real
+	// per-request allocation (which costs ≥ 1.0).
+	AllocsPerReqSlack float64
+}
+
+// DefaultTolerance is the CI gate's configuration.
+func DefaultTolerance() Tolerance {
+	return Tolerance{MaxThroughputDrop: 0.15, AllocsPerReqSlack: 0.01}
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"` // "req_per_sec" or "allocs_per_req"
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "req_per_sec":
+		return fmt.Sprintf("%s: req/s %.0f -> %.0f (%.1f%% drop)",
+			r.Name, r.Base, r.Cur, (1-r.Cur/r.Base)*100)
+	case "allocs_per_req":
+		return fmt.Sprintf("%s: allocs/req %s -> %s",
+			r.Name, trimFloat(r.Base), trimFloat(r.Cur))
+	default:
+		return fmt.Sprintf("%s: %s %v -> %v", r.Name, r.Metric, r.Base, r.Cur)
+	}
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', 4, 64) }
+
+// Compare gates current against baseline: scenarios are matched by
+// name (the intersection — a quick current run against a full
+// baseline compares only the shared scenarios) and each match is
+// checked for a throughput drop beyond tol.MaxThroughputDrop and an
+// allocs/req increase beyond tol.AllocsPerReqSlack. compared reports
+// how many scenarios were actually matched; a gate should treat
+// compared == 0 as a configuration error, not a pass.
+func Compare(baseline, current *Report, tol Tolerance) (regs []Regression, compared int) {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if b.ReqPerSec > 0 && cur.ReqPerSec < b.ReqPerSec*(1-tol.MaxThroughputDrop) {
+			regs = append(regs, Regression{Name: cur.Name, Metric: "req_per_sec", Base: b.ReqPerSec, Cur: cur.ReqPerSec})
+		}
+		if cur.AllocsPerReq > b.AllocsPerReq+tol.AllocsPerReqSlack {
+			regs = append(regs, Regression{Name: cur.Name, Metric: "allocs_per_req", Base: b.AllocsPerReq, Cur: cur.AllocsPerReq})
+		}
+	}
+	return regs, compared
+}
+
+// readPeakRSS returns the process's peak resident set size in bytes
+// (Linux /proc VmHWM), or 0 where the facility is unavailable.
+func readPeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -72,3 +72,15 @@ func bytesDuration(n int64, bytesPerSec float64) time.Duration {
 	}
 	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
 }
+
+// nsPerByte returns the nanoseconds-per-byte multiplier for a
+// bandwidth, the reciprocal form hot submit paths use so the
+// per-request cost is a multiply instead of a divide. The double
+// rounding against bytesDuration is far below the nanosecond grid for
+// realistic sizes and bandwidths.
+func nsPerByte(bytesPerSec float64) float64 {
+	if bytesPerSec <= 0 {
+		return 0
+	}
+	return float64(time.Second) / bytesPerSec
+}

@@ -52,6 +52,11 @@ func DefaultSSDConfig() SSDConfig {
 type SSD struct {
 	cfg            SSDConfig
 	sectorsPerPage uint64
+	// pageXfer is the channel transfer time of one page, and linkNsPerB
+	// the host-link nanoseconds per byte — both Submit-loop constants
+	// hoisted out of the per-request path.
+	pageXfer   time.Duration
+	linkNsPerB float64
 
 	// busy-until trackers, indexed [channel] and [channel*dies+die]
 	chanBusy []time.Duration
@@ -95,6 +100,8 @@ func NewSSD(cfg SSDConfig) *SSD {
 	s := &SSD{
 		cfg:            cfg,
 		sectorsPerPage: uint64(cfg.PageKB) * 1024 / trace.SectorSize,
+		pageXfer:       bytesDuration(int64(cfg.PageKB)*1024, cfg.ChannelBps),
+		linkNsPerB:     nsPerByte(cfg.LinkBps),
 	}
 	s.Reset()
 	return s
@@ -107,11 +114,18 @@ func (s *SSD) Name() string { return "nvme-ssd" }
 // tracking bounded by the last completion.
 func (s *SSD) ShardSafe() bool { return true }
 
-// Reset implements Device.
+// Reset implements Device. The busy arrays are cleared in place, so a
+// per-shard Reset in the parallel engine costs no allocation.
 func (s *SSD) Reset() {
-	s.chanBusy = make([]time.Duration, s.cfg.Channels)
-	s.dieBusy = make([]time.Duration, s.cfg.Channels*s.cfg.DiesPerChan)
-	s.planeBusy = make([]time.Duration, s.cfg.Channels*s.cfg.DiesPerChan*s.cfg.PlanesPerDie)
+	if s.chanBusy == nil {
+		s.chanBusy = make([]time.Duration, s.cfg.Channels)
+		s.dieBusy = make([]time.Duration, s.cfg.Channels*s.cfg.DiesPerChan)
+		s.planeBusy = make([]time.Duration, s.cfg.Channels*s.cfg.DiesPerChan*s.cfg.PlanesPerDie)
+		return
+	}
+	clear(s.chanBusy)
+	clear(s.dieBusy)
+	clear(s.planeBusy)
 }
 
 // geometryOf maps a flash page number to (channel, die, plane) with
@@ -128,12 +142,12 @@ func (s *SSD) Submit(at time.Duration, r trace.Request) Result {
 	start := at
 	// Host link: command processing + payload on the PCIe link. NVMe
 	// queues are deep; the link itself is the only serialized stage.
-	tcdel := s.cfg.CmdOverhead + bytesDuration(r.Bytes(), s.cfg.LinkBps)
+	tcdel := s.cfg.CmdOverhead + time.Duration(float64(r.Bytes())*s.linkNsPerB)
 	dataAt := start + tcdel
 
 	firstPage := r.LBA / s.sectorsPerPage
 	lastPage := (r.End() - 1) / s.sectorsPerPage
-	pageXfer := bytesDuration(int64(s.cfg.PageKB)*1024, s.cfg.ChannelBps)
+	pageXfer := s.pageXfer
 
 	complete := dataAt
 	for p := firstPage; p <= lastPage; p++ {

@@ -180,7 +180,7 @@ func (e *Engine) Reconstruct(old *trace.Trace) (*trace.Trace, *core.Report, erro
 		rep.AsyncCount += res.asyncCount
 		rep.Shards++
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -333,7 +333,7 @@ func TestStreamPlannerMatchesPlanSlice(t *testing.T) {
 	old := genOld(t, "Exchange", 1500, true)
 	cfg := testConfig(4, core.Options{}).withDefaults()
 	want := planSlice(cfg, old)
-	p := newStreamPlanner(cfg)
+	p := newStreamPlanner(cfg, nil)
 	var got []shard
 	for _, r := range old.Requests {
 		done, err := p.add(r)

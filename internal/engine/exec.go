@@ -22,8 +22,6 @@ var errAborted = errors.New("engine: run aborted by output error")
 type shardResult struct {
 	index int
 	reqs  []trace.Request
-	idle  []time.Duration
-	async []bool
 	// end is the completion time of the shard's last instruction,
 	// relative to the shard base: the next shard's base increment.
 	end time.Duration
@@ -36,10 +34,31 @@ type shardResult struct {
 	asyncCount int
 }
 
+// workerScratch is the per-executor decomposition scratch reused
+// across shards on the streaming path, where nothing downstream of
+// runShard reads the idle/async slices (the result carries their
+// aggregates). The in-memory path writes into report-owned slots
+// instead and ignores this.
+type workerScratch struct {
+	idle  []time.Duration
+	async []bool
+}
+
+func (w *workerScratch) grow(n int) ([]time.Duration, []bool) {
+	if cap(w.idle) < n {
+		w.idle = make([]time.Duration, n)
+		w.async = make([]bool, n)
+	}
+	return w.idle[:n], w.async[:n]
+}
+
 // runShard executes the full per-shard pipeline: decomposition with
 // carry context, emulation on a drained device from time zero, and
-// local post-processing.
-func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device.Device) shardResult {
+// local post-processing. On the streaming path (s.dst == nil) the
+// emulation writes in place over s.reqs — the original request data is
+// fully consumed by the decomposition first — so a shard costs no
+// output allocation at all.
+func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device.Device, scr *workerScratch) shardResult {
 	ctx := infer.ShardContext{
 		TsdevKnown:  useRecorded,
 		Seq:         s.seq,
@@ -62,14 +81,14 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 		end = replay.EmulateShardInto(s.dst, s.reqs, dev, idle)
 		out = s.dst
 	} else {
-		idle, async = infer.DecomposeShard(m, s.reqs, ctx)
-		out, end = replay.EmulateShard(s.reqs, dev, idle)
+		idle, async = scr.grow(len(s.reqs))
+		infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
+		end = replay.EmulateShardInto(s.reqs, s.reqs, dev, idle)
+		out = s.reqs
 	}
 	res := shardResult{
 		index: s.index,
 		reqs:  out,
-		idle:  idle,
-		async: async,
 		end:   end,
 	}
 	if !e.cfg.Core.SkipPostProcess {
@@ -89,6 +108,57 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 	return res
 }
 
+// bufPool is a free list recycling shard buffers between the merge
+// loop (which finishes with a shard's requests) and the stream
+// planner (which opens the next shard). The in-flight token pool
+// bounds how many buffers circulate, so steady-state streaming
+// reconstruction allocates nothing per shard once the list warms up.
+type bufPool struct {
+	mu   sync.Mutex
+	reqs [][]trace.Request
+	seqs [][]bool
+}
+
+func (p *bufPool) getReqs() []trace.Request {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.reqs); n > 0 {
+		b := p.reqs[n-1]
+		p.reqs = p.reqs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (p *bufPool) putReqs(b []trace.Request) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reqs = append(p.reqs, b)
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getSeqs() []bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.seqs); n > 0 {
+		b := p.seqs[n-1]
+		p.seqs = p.seqs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (p *bufPool) putSeqs(b []bool) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.seqs = append(p.seqs, b)
+	p.mu.Unlock()
+}
+
 // execute runs the shard pipeline: produce is called on its own
 // goroutine and submits shards in index order via the callback it is
 // handed; cfg.Workers executors reconstruct them concurrently; emit
@@ -103,7 +173,13 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 // stop, so a failed output stream does not keep decoding and
 // reconstructing the rest of the input. Residual in-flight shards are
 // drained, not emitted.
-func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, emit func(res shardResult, offset time.Duration) error) error {
+//
+// pool, when non-nil, receives each shard's buffers back once they are
+// dead (seq flags after the shard runs, requests after the merge emits
+// them); the planner that owns the same pool reuses them for new
+// shards. nil (the in-memory path, whose shards are views into the
+// preallocated output) disables recycling.
+func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, emit func(res shardResult, offset time.Duration) error, pool *bufPool) error {
 	workers := e.cfg.Workers
 	shardCh := make(chan shard, workers)
 	results := make(chan shardResult, workers)
@@ -134,9 +210,15 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 		go func() {
 			defer wg.Done()
 			dev := e.cfg.Device()
+			var scr workerScratch
 			for s := range shardCh {
 				s := s
-				results <- e.runShard(&s, m, useRecorded, dev)
+				res := e.runShard(&s, m, useRecorded, dev, &scr)
+				if pool != nil {
+					// The seq flags are dead once the shard ran.
+					pool.putSeqs(s.seq)
+				}
+				results <- res
 			}
 		}()
 	}
@@ -162,6 +244,10 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 					emitErr = err
 					close(stop)
 				}
+			}
+			if pool != nil && emitErr == nil {
+				// The requests are dead once emitted.
+				pool.putReqs(r.reqs)
 			}
 			base += r.end
 			shift += r.shiftDelta

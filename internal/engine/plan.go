@@ -98,17 +98,31 @@ func planSlice(cfg Config, t *trace.Trace) []shard {
 
 // streamPlanner builds shards incrementally from a request stream,
 // owning each shard's buffer. It also validates the invariants the
-// pipeline relies on (trace.Validate equivalents) as it goes.
+// pipeline relies on (trace.Validate equivalents) as it goes. When a
+// pool is attached, new shard buffers come from it (the executor
+// returns them there once a shard is merged), so a long run reuses a
+// bounded set of buffers instead of allocating per shard.
 type streamPlanner struct {
 	cfg   Config
+	pool  *bufPool
 	seq   *trace.SeqState
 	cur   shard
 	count int64
 	index int
 }
 
-func newStreamPlanner(cfg Config) *streamPlanner {
-	return &streamPlanner{cfg: cfg, seq: trace.NewSeqState()}
+func newStreamPlanner(cfg Config, pool *bufPool) *streamPlanner {
+	return &streamPlanner{cfg: cfg, pool: pool, seq: trace.NewSeqState()}
+}
+
+// refill points the open shard at recycled buffers, if any are free;
+// append grows nil slices naturally otherwise, and those buffers
+// enter the recycling loop once their shard retires.
+func (p *streamPlanner) refill() {
+	if p.pool != nil {
+		p.cur.reqs = p.pool.getReqs()
+		p.cur.seq = p.pool.getSeqs()
+	}
 }
 
 // add consumes the next request. When it opens a new epoch, the
@@ -136,6 +150,7 @@ func (p *streamPlanner) add(r trace.Request) (*shard, error) {
 				prev:    last,
 				prevSeq: finished.seq[n-1],
 			}
+			p.refill()
 		}
 	}
 	p.cur.reqs = append(p.cur.reqs, r)

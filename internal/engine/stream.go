@@ -28,19 +28,27 @@ var ErrModelRequired = errors.New("engine: input requires an inference model; fi
 // only possible for Tsdev-known corpora, which skip this pass.
 func FitModel(dec trace.Decoder, opts infer.EstimateOptions) (*infer.Model, int, error) {
 	c := infer.NewStreamClassifier()
+	buf := make([]trace.Request, decodeBatchLen)
 	for {
-		r, err := dec.Next()
+		n, err := trace.DecodeBatch(dec, buf)
+		for _, r := range buf[:n] {
+			c.Add(r)
+		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, c.N(), err
 		}
-		c.Add(r)
 	}
 	m, err := infer.EstimateGrouping(c.Grouping(), dec.Meta().Name, opts)
 	return m, c.N(), err
 }
+
+// decodeBatchLen is the read-batch size of the engine's streaming
+// consumers: large enough to amortize the per-record decoder dispatch
+// to nothing, small enough to stay cache-resident.
+const decodeBatchLen = 512
 
 // ReconstructStream runs the sharded reconstruction over a request
 // stream, writing the reconstructed trace to enc (Begin through Close;
@@ -84,20 +92,30 @@ func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infe
 	}
 	rep.Model = m
 
-	planner := newStreamPlanner(e.cfg)
+	pool := &bufPool{}
+	planner := newStreamPlanner(e.cfg, pool)
 	produce := func(submit func(shard) error) error {
-		r := first
-		for {
+		feed := func(r trace.Request) error {
 			done, err := planner.add(r)
 			if err != nil {
 				return err
 			}
 			if done != nil {
-				if err := submit(*done); err != nil {
+				return submit(*done)
+			}
+			return nil
+		}
+		if err := feed(first); err != nil {
+			return err
+		}
+		buf := make([]trace.Request, decodeBatchLen)
+		for {
+			n, err := trace.DecodeBatch(dec, buf)
+			for _, r := range buf[:n] {
+				if err := feed(r); err != nil {
 					return err
 				}
 			}
-			r, err = dec.Next()
 			if err == io.EOF {
 				break
 			}
@@ -132,7 +150,7 @@ func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infe
 		rep.AsyncCount += res.asyncCount
 		return nil
 	}
-	if err := e.execute(produce, m, useRecorded, emit); err != nil {
+	if err := e.execute(produce, m, useRecorded, emit, pool); err != nil {
 		return nil, err
 	}
 	return rep, enc.Close()

@@ -1,0 +1,81 @@
+package engine
+
+// Steady-state allocation lock for the streaming reconstruction: with
+// the zero-allocation codec, pooled shard buffers and worker-local
+// decomposition scratch, a Tsdev-known run must cost (amortized)
+// near-zero allocations per request — the budget below allows only
+// the fixed per-run setup (decoder, channels, goroutines, pool warmup)
+// spread over the request count.
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// allocBenchTrace synthesizes a recorded-latency trace with idle gaps
+// so the planner cuts many shards.
+func allocBenchTrace(n int) *trace.Trace {
+	t := &trace.Trace{Name: "alloc", Workload: "w", Set: "MSPS", TsdevKnown: true}
+	t.Requests = make([]trace.Request, n)
+	arr := time.Duration(0)
+	for i := range t.Requests {
+		gap := 40 * time.Microsecond
+		if i%2048 == 2047 {
+			gap = 5 * time.Millisecond // idle cut opportunity
+		}
+		arr += gap
+		t.Requests[i] = trace.Request{
+			Arrival: arr,
+			Device:  uint32(i % 3),
+			LBA:     uint64(i*8) % (1 << 28),
+			Sectors: uint32(8 + (i%4)*8),
+			Op:      trace.Op(i % 2),
+			Latency: time.Duration(80+i%40) * time.Microsecond,
+		}
+	}
+	return t
+}
+
+// TestStreamReconstructAllocBound locks the amortized allocation cost
+// of ReconstructStream on the recorded-latency path.
+func TestStreamReconstructAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting at full trace size")
+	}
+	const n = 200_000
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, allocBenchTrace(n)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	eng := New(Config{Workers: 2, MaxShardRequests: 4096})
+	run := func() {
+		dec := trace.NewBinaryDecoder(bytes.NewReader(data))
+		rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != n {
+			t.Fatalf("reconstructed %d of %d requests", rep.Requests, n)
+		}
+	}
+	run() // warm up code paths
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	run()
+	runtime.ReadMemStats(&m1)
+
+	perReq := float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	if perReq > 0.05 {
+		t.Fatalf("streaming reconstruction allocates %.4f objects per request (%d total), want amortized ~0",
+			perReq, m1.Mallocs-m0.Mallocs)
+	}
+}

@@ -19,6 +19,10 @@ type StreamClassifier struct {
 	prevSeq bool
 	have    bool
 	n       int
+	// lastKey/lastGrp cache the previously hit group: workloads issue
+	// runs of same-shaped requests, so most Adds skip the map lookup.
+	lastKey GroupKey
+	lastGrp *Group
 }
 
 // NewStreamClassifier returns an empty incremental classifier.
@@ -33,10 +37,14 @@ func NewStreamClassifier() *StreamClassifier {
 func (c *StreamClassifier) Add(r trace.Request) {
 	if c.have {
 		k := GroupKey{Seq: c.prevSeq, Op: c.prev.Op, Sectors: c.prev.Sectors}
-		grp := c.groups[k]
-		if grp == nil {
-			grp = &Group{Key: k}
-			c.groups[k] = grp
+		grp := c.lastGrp
+		if grp == nil || k != c.lastKey {
+			grp = c.groups[k]
+			if grp == nil {
+				grp = &Group{Key: k}
+				c.groups[k] = grp
+			}
+			c.lastKey, c.lastGrp = k, grp
 		}
 		intt := float64(r.Arrival-c.prev.Arrival) / float64(time.Microsecond)
 		grp.InttMicros = append(grp.InttMicros, intt)
@@ -95,13 +103,14 @@ func DecomposeShard(m *Model, reqs []trace.Request, ctx ShardContext) (idle []ti
 // report slots without per-shard allocations.
 func DecomposeShardInto(idle []time.Duration, async []bool, m *Model, reqs []trace.Request, ctx ShardContext) {
 	n := len(reqs)
-	for i := range idle[:n] {
-		idle[i] = 0
-		async[i] = false
-	}
 	if n == 0 {
 		return
 	}
+	// Every other slot is assigned unconditionally below, so only the
+	// two boundary defaults need clearing — the slices may be reused
+	// scratch, not fresh allocations.
+	idle[0] = 0
+	async[n-1] = false
 	// pair evaluates the decomposition across one adjacent pair: r at
 	// trace order position i (seq flag rseq), followed by an arrival at
 	// next. It reports the idle preceding the follower and whether r

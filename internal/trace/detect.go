@@ -124,12 +124,18 @@ func cutLine(b []byte) (line, tail []byte, complete bool) {
 }
 
 // isNativeLine reports whether f is a native CSV record
-// (arrival_us,device,lba,sectors,op,latency_us,async).
+// (arrival_us,device,lba,sectors,op,latency_us,async). It funnels
+// through the decoder's own parser so the sniff cannot drift from
+// what CSVDecoder actually accepts.
 func isNativeLine(f []string) bool {
 	if len(f) != 7 {
 		return false
 	}
-	_, err := parseNativeFields(f)
+	var fb [7][]byte
+	for i, s := range f {
+		fb[i] = []byte(s)
+	}
+	_, err := parseNativeLine(fb[:])
 	return err == nil
 }
 

@@ -7,6 +7,13 @@ package trace
 // io.go, blktrace.go and fio.go delegate to these, so the two paths
 // cannot drift apart.
 //
+// The codecs are allocation-free in steady state: text decoders scan
+// lines as byte slices (scan.go) with no per-record string or field
+// allocations, encoders render into a reusable buffer, and the
+// DecodeBatch API lets consumers amortize the per-record interface
+// call on top. trace/zeroalloc_test.go locks the zero-allocs property
+// for all four input formats and all four output formats.
+//
 // Decoders yield requests in file order. The MSRC and SPC corpora are
 // only nearly sorted (event tracing reorders completions), so their
 // whole-trace readers sort after draining; streaming callers that need
@@ -15,12 +22,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
-	"strings"
 	"time"
 )
 
@@ -55,6 +63,44 @@ type Decoder interface {
 	Meta() Meta
 }
 
+// BatchDecoder is implemented by decoders that can fill a request
+// slice per call, amortizing the per-record interface dispatch that
+// dominates tight Next loops. Every decoder in this package
+// implements it.
+type BatchDecoder interface {
+	Decoder
+	// DecodeBatch fills dst and returns the number of requests
+	// decoded. It returns (n, io.EOF) when the stream ended after n
+	// records, and (n, err) when record n+1 failed to parse; n ==
+	// len(dst) implies a nil error.
+	DecodeBatch(dst []Request) (int, error)
+}
+
+// DecodeBatch fills dst from dec, using the decoder's native batch
+// path when it has one and a Next loop otherwise. The contract is
+// BatchDecoder.DecodeBatch's.
+func DecodeBatch(dec Decoder, dst []Request) (int, error) {
+	if bd, ok := dec.(BatchDecoder); ok {
+		return bd.DecodeBatch(dst)
+	}
+	return decodeBatch(dec, dst)
+}
+
+// decodeBatch is the shared DecodeBatch body. Each concrete decoder
+// instantiates it with its own type, so the inner Next calls are
+// direct (devirtualized), which is where the batch speedup comes
+// from.
+func decodeBatch[D interface{ Next() (Request, error) }](d D, dst []Request) (int, error) {
+	for i := range dst {
+		r, err := d.Next()
+		if err != nil {
+			return i, err
+		}
+		dst[i] = r
+	}
+	return len(dst), nil
+}
+
 // Encoder consumes a request stream and renders one on-disk format.
 type Encoder interface {
 	// Begin emits the format's header. It must be called exactly once,
@@ -75,6 +121,10 @@ type SizeHinter interface {
 	SizeHint() int
 }
 
+// drainChunk is the batch size Drain (and the other whole-stream
+// consumers in this package) read with.
+const drainChunk = 1024
+
 // Drain reads dec to exhaustion and materializes a whole Trace.
 func Drain(dec Decoder) (*Trace, error) {
 	t := &Trace{}
@@ -88,14 +138,16 @@ func Drain(dec Decoder) (*Trace, error) {
 		}
 	}
 	for {
-		r, err := dec.Next()
+		n := len(t.Requests)
+		t.Requests = slices.Grow(t.Requests, drainChunk)
+		k, err := DecodeBatch(dec, t.Requests[n:n+drainChunk])
+		t.Requests = t.Requests[:n+k]
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		t.Requests = append(t.Requests, r)
 	}
 	t.applyMeta(dec.Meta())
 	return t, nil
@@ -177,17 +229,40 @@ func NewEncoder(format string, w io.Writer, fioDevice string) (Encoder, error) {
 // request presented in trace order; trace.SeqFlags delegates here, so
 // a SeqState snapshot at a shard boundary reproduces the whole-trace
 // flags exactly.
+//
+// The public corpora use a handful of small device numbers, so the
+// first smallDevices devices live in a flat array — Flag on them costs
+// two array accesses instead of two map operations, which matters in
+// the per-request planner loop. Larger device IDs fall back to a
+// lazily-built map.
 type SeqState struct {
-	lastEnd map[uint32]uint64
+	smallEnd  [smallDevices]uint64
+	smallSeen uint32 // bitmask over smallEnd
+	lastEnd   map[uint32]uint64
 }
+
+// smallDevices is the device-number range SeqState tracks in its
+// array fast path.
+const smallDevices = 16
 
 // NewSeqState returns an empty sequentiality tracker.
 func NewSeqState() *SeqState {
-	return &SeqState{lastEnd: make(map[uint32]uint64, 4)}
+	return &SeqState{}
 }
 
 // Flag classifies r (true = sequential) and advances the state.
 func (s *SeqState) Flag(r Request) bool {
+	if r.Device < smallDevices {
+		bit := uint32(1) << r.Device
+		end := s.smallEnd[r.Device]
+		seen := s.smallSeen&bit != 0
+		s.smallEnd[r.Device] = r.End()
+		s.smallSeen |= bit
+		return seen && r.LBA == end
+	}
+	if s.lastEnd == nil {
+		s.lastEnd = make(map[uint32]uint64, 4)
+	}
 	end, seen := s.lastEnd[r.Device]
 	s.lastEnd[r.Device] = r.End()
 	return seen && r.LBA == end
@@ -195,18 +270,24 @@ func (s *SeqState) Flag(r Request) bool {
 
 // Clone deep-copies the state, so shard planners can snapshot it.
 func (s *SeqState) Clone() *SeqState {
-	c := NewSeqState()
-	for k, v := range s.lastEnd {
-		c.lastEnd[k] = v
+	c := &SeqState{smallEnd: s.smallEnd, smallSeen: s.smallSeen}
+	if s.lastEnd != nil {
+		c.lastEnd = make(map[uint32]uint64, len(s.lastEnd))
+		for k, v := range s.lastEnd {
+			c.lastEnd[k] = v
+		}
 	}
 	return c
 }
 
 // --- native CSV ---
 
+// csvHeaderPrefix marks the native metadata header comment.
+var csvHeaderPrefix = []byte("# tracetracker ")
+
 // CSVDecoder streams the native CSV format.
 type CSVDecoder struct {
-	sc      *bufio.Scanner
+	ls      *lineScanner
 	lineno  int
 	meta    Meta
 	t       Trace // scratch for header parsing
@@ -215,9 +296,7 @@ type CSVDecoder struct {
 
 // NewCSVDecoder wraps r in a native-CSV request stream.
 func NewCSVDecoder(r io.Reader) *CSVDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	return &CSVDecoder{sc: sc}
+	return &CSVDecoder{ls: newLineScanner(r)}
 }
 
 // Meta implements Decoder.
@@ -225,14 +304,21 @@ func (d *CSVDecoder) Meta() Meta { return d.meta }
 
 // Next implements Decoder.
 func (d *CSVDecoder) Next() (Request, error) {
-	for d.sc.Scan() {
+	for {
+		line, err := d.ls.next()
+		if err == io.EOF {
+			return Request{}, io.EOF
+		}
+		if err != nil {
+			return Request{}, err
+		}
 		d.lineno++
-		line := strings.TrimSpace(d.sc.Text())
-		if line == "" {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "# tracetracker ") && d.sawData {
+		if line[0] == '#' {
+			if bytes.HasPrefix(line, csvHeaderPrefix) && d.sawData {
 				// A metadata header behind data rows (concatenated
 				// files) cannot be honoured by a streaming consumer
 				// that already acted on the old metadata — reject it
@@ -241,30 +327,34 @@ func (d *CSVDecoder) Next() (Request, error) {
 				return Request{}, fmt.Errorf("trace: line %d: metadata header after data rows", d.lineno)
 			}
 			d.t.applyMeta(d.meta)
-			parseHeaderComment(&d.t, line)
+			parseHeaderComment(&d.t, string(line))
 			d.meta = d.t.Meta()
 			continue
 		}
-		f := strings.Split(line, ",")
-		if len(f) != 7 {
-			return Request{}, fmt.Errorf("trace: line %d: want 7 fields, got %d", d.lineno, len(f))
+		if req, ok := parseNativeFast(line); ok {
+			d.sawData = true
+			return req, nil
 		}
-		req, err := parseNativeFields(f)
+		var f [8][]byte
+		if n := splitComma(f[:], line); n != 7 {
+			return Request{}, fmt.Errorf("trace: line %d: want 7 fields, got %d", d.lineno, n)
+		}
+		req, err := parseNativeLine(f[:7])
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: line %d: %w", d.lineno, err)
 		}
 		d.sawData = true
 		return req, nil
 	}
-	if err := d.sc.Err(); err != nil {
-		return Request{}, err
-	}
-	return Request{}, io.EOF
 }
+
+// DecodeBatch implements BatchDecoder.
+func (d *CSVDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
 
 // CSVEncoder streams the native CSV format.
 type CSVEncoder struct {
-	bw *bufio.Writer
+	bw  *bufio.Writer
+	buf []byte // reusable line scratch
 }
 
 // NewCSVEncoder wraps w in a native-CSV request sink.
@@ -282,12 +372,25 @@ func (e *CSVEncoder) Begin(m Meta) error {
 
 // Write implements Encoder.
 func (e *CSVEncoder) Write(r Request) error {
-	async := 0
+	b := e.buf[:0]
+	b = strconv.AppendFloat(b, micros(r.Arrival), 'f', 3, 64)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(r.Device), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, r.LBA, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(r.Sectors), 10)
+	b = append(b, ',')
+	b = appendOp(b, r.Op)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, micros(r.Latency), 'f', 3, 64)
 	if r.Async {
-		async = 1
+		b = append(b, ",1\n"...)
+	} else {
+		b = append(b, ",0\n"...)
 	}
-	_, err := fmt.Fprintf(e.bw, "%.3f,%d,%d,%d,%s,%.3f,%d\n",
-		micros(r.Arrival), r.Device, r.LBA, r.Sectors, r.Op, micros(r.Latency), async)
+	e.buf = b
+	_, err := e.bw.Write(b)
 	return err
 }
 
@@ -300,6 +403,9 @@ func (e *CSVEncoder) Close() error { return e.bw.Flush() }
 // it cannot know the count up front, so records simply run to EOF.
 // BinaryDecoder (and therefore ReadBinary) accepts both forms.
 const streamingCount = ^uint64(0)
+
+// binRecordLen is the fixed width of one binary request record.
+const binRecordLen = 34
 
 // BinaryDecoder streams the compact binary format.
 type BinaryDecoder struct {
@@ -314,7 +420,7 @@ type BinaryDecoder struct {
 // NewBinaryDecoder wraps r in a binary request stream. Header parse
 // errors surface on the first Next call.
 func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
-	d := &BinaryDecoder{br: bufio.NewReader(r)}
+	d := &BinaryDecoder{br: bufio.NewReaderSize(r, 128<<10)}
 	d.headerErr = d.readHeader()
 	if d.headerErr == io.EOF {
 		// A stream ending inside the header (including a 0-byte file)
@@ -387,7 +493,9 @@ func (d *BinaryDecoder) SizeHint() int {
 	return int(d.remaining)
 }
 
-// Next implements Decoder.
+// Next implements Decoder. Records are decoded in place from the read
+// buffer (Peek/Discard), so steady-state decoding never copies or
+// allocates.
 func (d *BinaryDecoder) Next() (Request, error) {
 	if d.headerErr != nil {
 		return Request{}, d.headerErr
@@ -395,17 +503,31 @@ func (d *BinaryDecoder) Next() (Request, error) {
 	if d.counted && d.remaining == 0 {
 		return Request{}, io.EOF
 	}
-	var rec [34]byte
-	if _, err := io.ReadFull(d.br, rec[:]); err != nil {
-		if !d.counted && err == io.EOF {
+	rec, err := d.br.Peek(binRecordLen)
+	if err != nil {
+		if len(rec) == 0 && !d.counted && err == io.EOF {
 			return Request{}, io.EOF
+		}
+		if err == io.EOF && len(rec) > 0 {
+			err = io.ErrUnexpectedEOF
 		}
 		return Request{}, fmt.Errorf("trace: truncated at record %d: %w", d.idx, err)
 	}
+	r := decodeBinRecord(rec)
+	d.br.Discard(binRecordLen)
 	if d.counted {
 		d.remaining--
 	}
 	d.idx++
+	return r, nil
+}
+
+// DecodeBatch implements BatchDecoder.
+func (d *BinaryDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
+
+// decodeBinRecord unpacks one fixed-width record.
+func decodeBinRecord(rec []byte) Request {
+	_ = rec[binRecordLen-1]
 	return Request{
 		Arrival: time.Duration(binary.LittleEndian.Uint64(rec[0:])),
 		Device:  binary.LittleEndian.Uint32(rec[8:]),
@@ -414,7 +536,7 @@ func (d *BinaryDecoder) Next() (Request, error) {
 		Op:      Op(rec[24]),
 		Latency: time.Duration(binary.LittleEndian.Uint64(rec[25:])),
 		Async:   rec[33] == 1,
-	}, nil
+	}
 }
 
 // BinaryEncoder streams the compact binary format. Because the count
@@ -422,7 +544,8 @@ func (d *BinaryDecoder) Next() (Request, error) {
 // produces are readable by ReadBinary/BinaryDecoder but differ in that
 // one header field from WriteBinary output.
 type BinaryEncoder struct {
-	bw *bufio.Writer
+	bw  *bufio.Writer
+	rec [binRecordLen]byte
 }
 
 // NewBinaryEncoder wraps w in a binary request sink.
@@ -437,7 +560,7 @@ func (e *BinaryEncoder) Begin(m Meta) error {
 
 // Write implements Encoder.
 func (e *BinaryEncoder) Write(r Request) error {
-	return writeBinaryRecord(e.bw, r)
+	return writeBinaryRecord(e.bw, &e.rec, r)
 }
 
 // Close implements Encoder.
@@ -469,9 +592,9 @@ func writeBinaryHeader(bw *bufio.Writer, m Meta, count uint64) error {
 	return err
 }
 
-// writeBinaryRecord emits one fixed-width request record.
-func writeBinaryRecord(bw *bufio.Writer, r Request) error {
-	var rec [34]byte
+// writeBinaryRecord emits one fixed-width request record into rec
+// (caller-owned scratch, so nothing escapes per record).
+func writeBinaryRecord(bw *bufio.Writer, rec *[binRecordLen]byte, r Request) error {
 	binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
 	binary.LittleEndian.PutUint32(rec[8:], r.Device)
 	binary.LittleEndian.PutUint64(rec[12:], r.LBA)
@@ -480,6 +603,8 @@ func writeBinaryRecord(bw *bufio.Writer, r Request) error {
 	binary.LittleEndian.PutUint64(rec[25:], uint64(r.Latency))
 	if r.Async {
 		rec[33] = 1
+	} else {
+		rec[33] = 0
 	}
 	_, err := bw.Write(rec[:])
 	return err
@@ -492,7 +617,7 @@ func writeBinaryRecord(bw *bufio.Writer, r Request) error {
 // files are only nearly sorted; wrap in a ReorderDecoder when monotone
 // arrivals are required.
 type MSRCDecoder struct {
-	sc     *bufio.Scanner
+	ls     *lineScanner
 	lineno int
 	meta   Meta
 	base   int64
@@ -501,9 +626,7 @@ type MSRCDecoder struct {
 
 // NewMSRCDecoder wraps r in an MSRC request stream.
 func NewMSRCDecoder(r io.Reader) *MSRCDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	return &MSRCDecoder{sc: sc, meta: Meta{Set: "MSRC", TsdevKnown: true}, first: true}
+	return &MSRCDecoder{ls: newLineScanner(r), meta: Meta{Set: "MSRC", TsdevKnown: true}, first: true}
 }
 
 // Meta implements Decoder.
@@ -511,43 +634,50 @@ func (d *MSRCDecoder) Meta() Meta { return d.meta }
 
 // Next implements Decoder.
 func (d *MSRCDecoder) Next() (Request, error) {
-	for d.sc.Scan() {
+	for {
+		line, err := d.ls.next()
+		if err == io.EOF {
+			return Request{}, io.EOF
+		}
+		if err != nil {
+			return Request{}, err
+		}
 		d.lineno++
-		line := strings.TrimSpace(d.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		f := strings.Split(line, ",")
-		if len(f) != 7 {
-			return Request{}, fmt.Errorf("trace: msrc line %d: want 7 fields, got %d", d.lineno, len(f))
+		var f [8][]byte
+		if n := splitComma(f[:], line); n != 7 {
+			return Request{}, fmt.Errorf("trace: msrc line %d: want 7 fields, got %d", d.lineno, n)
 		}
-		ts, err := strconv.ParseInt(f[0], 10, 64)
+		ts, err := parseIntBytes(f[0], 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d timestamp: %w", d.lineno, err)
 		}
 		if d.first {
 			d.base = ts
-			d.meta.Workload = f[1]
-			d.meta.Name = f[1]
+			d.meta.Workload = string(f[1])
+			d.meta.Name = d.meta.Workload
 			d.first = false
 		}
-		disk, err := strconv.ParseUint(f[2], 10, 32)
+		disk, err := parseUintBytes(f[2], 32)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d disk: %w", d.lineno, err)
 		}
-		op, err := ParseOp(f[3])
+		op, err := parseOpBytes(f[3])
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d: %w", d.lineno, err)
 		}
-		off, err := strconv.ParseUint(f[4], 10, 64)
+		off, err := parseUintBytes(f[4], 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d offset: %w", d.lineno, err)
 		}
-		size, err := strconv.ParseUint(f[5], 10, 64)
+		size, err := parseUintBytes(f[5], 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d size: %w", d.lineno, err)
 		}
-		resp, err := strconv.ParseInt(f[6], 10, 64)
+		resp, err := parseIntBytes(f[6], 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: msrc line %d response: %w", d.lineno, err)
 		}
@@ -564,25 +694,22 @@ func (d *MSRCDecoder) Next() (Request, error) {
 			Latency: time.Duration(resp) * 100,
 		}, nil
 	}
-	if err := d.sc.Err(); err != nil {
-		return Request{}, err
-	}
-	return Request{}, io.EOF
 }
+
+// DecodeBatch implements BatchDecoder.
+func (d *MSRCDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
 
 // --- SPC-1 ASCII ---
 
 // SPCDecoder streams the SPC-1 ASCII format in file order.
 type SPCDecoder struct {
-	sc     *bufio.Scanner
+	ls     *lineScanner
 	lineno int
 }
 
 // NewSPCDecoder wraps r in an SPC request stream.
 func NewSPCDecoder(r io.Reader) *SPCDecoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	return &SPCDecoder{sc: sc}
+	return &SPCDecoder{ls: newLineScanner(r)}
 }
 
 // Meta implements Decoder.
@@ -590,33 +717,40 @@ func (d *SPCDecoder) Meta() Meta { return Meta{TsdevKnown: false} }
 
 // Next implements Decoder.
 func (d *SPCDecoder) Next() (Request, error) {
-	for d.sc.Scan() {
+	for {
+		line, err := d.ls.next()
+		if err == io.EOF {
+			return Request{}, io.EOF
+		}
+		if err != nil {
+			return Request{}, err
+		}
 		d.lineno++
-		line := strings.TrimSpace(d.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		f := strings.Split(line, ",")
-		if len(f) < 5 {
-			return Request{}, fmt.Errorf("trace: spc line %d: want 5 fields, got %d", d.lineno, len(f))
+		var f [8][]byte
+		if n := splitComma(f[:], line); n < 5 {
+			return Request{}, fmt.Errorf("trace: spc line %d: want 5 fields, got %d", d.lineno, n)
 		}
-		asu, err := strconv.ParseUint(strings.TrimSpace(f[0]), 10, 32)
+		asu, err := parseUintBytes(bytes.TrimSpace(f[0]), 32)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d asu: %w", d.lineno, err)
 		}
-		lba, err := strconv.ParseUint(strings.TrimSpace(f[1]), 10, 64)
+		lba, err := parseUintBytes(bytes.TrimSpace(f[1]), 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d lba: %w", d.lineno, err)
 		}
-		size, err := strconv.ParseUint(strings.TrimSpace(f[2]), 10, 64)
+		size, err := parseUintBytes(bytes.TrimSpace(f[2]), 64)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d size: %w", d.lineno, err)
 		}
-		op, err := ParseOp(strings.TrimSpace(f[3]))
+		op, err := parseOpBytes(bytes.TrimSpace(f[3]))
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d: %w", d.lineno, err)
 		}
-		sec, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		sec, err := parseFloatBytes(bytes.TrimSpace(f[4]))
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d timestamp: %w", d.lineno, err)
 		}
@@ -632,11 +766,10 @@ func (d *SPCDecoder) Next() (Request, error) {
 			Op:      op,
 		}, nil
 	}
-	if err := d.sc.Err(); err != nil {
-		return Request{}, err
-	}
-	return Request{}, io.EOF
 }
+
+// DecodeBatch implements BatchDecoder.
+func (d *SPCDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
 
 // --- blktrace text (encoder) ---
 
@@ -645,6 +778,8 @@ type BlktraceEncoder struct {
 	bw   *bufio.Writer
 	name string
 	seq  int
+	buf  []byte // reusable line scratch
+	num  []byte // reusable number scratch for padded fields
 }
 
 // NewBlktraceEncoder wraps w in a blktrace event sink.
@@ -658,23 +793,45 @@ func (e *BlktraceEncoder) Begin(m Meta) error {
 	return nil
 }
 
+// appendEvent renders one blkparse-style event line, matching the
+// previous fmt template "8,%d    0 %8d %14.9f  0  %c   %c %d + %d [%s]\n"
+// byte for byte.
+func (e *BlktraceEncoder) appendEvent(b []byte, dev uint32, seq int, at time.Duration, ev, rwbs byte, lba uint64, sectors uint32, tag string) []byte {
+	b = append(b, "8,"...)
+	b = strconv.AppendUint(b, uint64(dev), 10)
+	b = append(b, "    0 "...)
+	e.num = strconv.AppendInt(e.num[:0], int64(seq), 10)
+	b = appendPadded(b, e.num, 8)
+	b = append(b, ' ')
+	e.num = strconv.AppendFloat(e.num[:0], at.Seconds(), 'f', 9, 64)
+	b = appendPadded(b, e.num, 14)
+	b = append(b, "  0  "...)
+	b = append(b, ev)
+	b = append(b, "   "...)
+	b = append(b, rwbs, ' ')
+	b = strconv.AppendUint(b, lba, 10)
+	b = append(b, " + "...)
+	b = strconv.AppendUint(b, uint64(sectors), 10)
+	b = append(b, " ["...)
+	b = append(b, tag...)
+	b = append(b, "]\n"...)
+	return b
+}
+
 // Write implements Encoder.
 func (e *BlktraceEncoder) Write(r Request) error {
-	e.seq++
-	rwbs := "R"
+	rwbs := byte('R')
 	if r.Op == Write {
-		rwbs = "W"
+		rwbs = 'W'
 	}
-	_, err := fmt.Fprintf(e.bw, "8,%d    0 %8d %14.9f  0  D   %s %d + %d [%s]\n",
-		r.Device, e.seq, r.Arrival.Seconds(), rwbs, r.LBA, r.Sectors, e.name)
-	if err != nil {
-		return err
-	}
+	e.seq++
+	b := e.appendEvent(e.buf[:0], r.Device, e.seq, r.Arrival, 'D', rwbs, r.LBA, r.Sectors, e.name)
 	if r.Latency > 0 {
 		e.seq++
-		_, err = fmt.Fprintf(e.bw, "8,%d    0 %8d %14.9f  0  C   %s %d + %d [0]\n",
-			r.Device, e.seq, (r.Arrival + r.Latency).Seconds(), rwbs, r.LBA, r.Sectors)
+		b = e.appendEvent(b, r.Device, e.seq, r.Arrival+r.Latency, 'C', rwbs, r.LBA, r.Sectors, "0")
 	}
+	e.buf = b
+	_, err := e.bw.Write(b)
 	return err
 }
 
@@ -689,6 +846,7 @@ type FIOEncoder struct {
 	device string
 	prev   time.Duration
 	first  bool
+	buf    []byte // reusable line scratch
 }
 
 // NewFIOEncoder wraps w in an iolog sink replaying against device.
@@ -706,18 +864,29 @@ func (e *FIOEncoder) Begin(Meta) error {
 
 // Write implements Encoder.
 func (e *FIOEncoder) Write(r Request) error {
+	b := e.buf[:0]
 	if !e.first {
 		if gap := r.Arrival - e.prev; gap > 0 {
-			fmt.Fprintf(e.bw, "%s wait %d\n", e.device, gap.Microseconds())
+			b = append(b, e.device...)
+			b = append(b, " wait "...)
+			b = strconv.AppendInt(b, gap.Microseconds(), 10)
+			b = append(b, '\n')
 		}
 	}
 	e.first = false
 	e.prev = r.Arrival
-	action := "read"
+	b = append(b, e.device...)
 	if r.Op == Write {
-		action = "write"
+		b = append(b, " write "...)
+	} else {
+		b = append(b, " read "...)
 	}
-	_, err := fmt.Fprintf(e.bw, "%s %s %d %d\n", e.device, action, int64(r.LBA)*SectorSize, r.Bytes())
+	b = strconv.AppendInt(b, int64(r.LBA)*SectorSize, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, r.Bytes(), 10)
+	b = append(b, '\n')
+	e.buf = b
+	_, err := e.bw.Write(b)
 	return err
 }
 
@@ -749,12 +918,18 @@ func (h reorderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *reorderHeap) Push(x any)   { *h = append(*h, x.(reorderItem)) }
 func (h *reorderHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
 
+// reorderBatch is the refill read size of a ReorderDecoder.
+const reorderBatch = 256
+
 // ReorderDecoder wraps a decoder with a bounded min-heap window: as
 // long as no request is displaced by more than window positions from
 // its sorted slot, the output order equals the stable arrival sort the
-// whole-trace readers produce — with O(window) memory instead of the
-// whole trace. Event-traced corpora (MSRC) are near-sorted, so a small
-// window suffices.
+// whole-trace readers produce — with O(window + reorderBatch) memory
+// instead of the whole trace. (Refilling in batches can buffer a few
+// hundred requests beyond the window; holding more than window+1
+// items only ever sorts harder, so the output-order guarantee is
+// unaffected.) Event-traced corpora (MSRC) are near-sorted, so a
+// small window suffices.
 type ReorderDecoder struct {
 	inner  Decoder
 	window int
@@ -762,6 +937,7 @@ type ReorderDecoder struct {
 	seq    uint64
 	done   bool
 	err    error
+	batch  []Request
 }
 
 // NewReorderDecoder wraps dec with a reorder window of the given size
@@ -781,10 +957,17 @@ func (d *ReorderDecoder) Next() (Request, error) {
 	if d.err != nil {
 		return Request{}, d.err
 	}
-	// Hold window+1 items before emitting: popping the min of w+1
-	// buffered requests is what guarantees displacements up to w.
+	// Hold at least window+1 items before emitting: popping the min of
+	// w+1 buffered requests is what guarantees displacements up to w.
 	for !d.done && len(d.h) <= d.window {
-		r, err := d.inner.Next()
+		if d.batch == nil {
+			d.batch = make([]Request, reorderBatch)
+		}
+		n, err := DecodeBatch(d.inner, d.batch)
+		for _, r := range d.batch[:n] {
+			heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
+			d.seq++
+		}
 		if err == io.EOF {
 			d.done = true
 			break
@@ -793,8 +976,6 @@ func (d *ReorderDecoder) Next() (Request, error) {
 			d.err = err
 			return Request{}, err
 		}
-		heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
-		d.seq++
 	}
 	if len(d.h) == 0 {
 		d.err = io.EOF
@@ -803,3 +984,6 @@ func (d *ReorderDecoder) Next() (Request, error) {
 	it := heap.Pop(&d.h).(reorderItem)
 	return it.req, nil
 }
+
+// DecodeBatch implements BatchDecoder.
+func (d *ReorderDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }

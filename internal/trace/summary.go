@@ -121,18 +121,24 @@ func (a *Summarizer) Summary(m Meta) Summary {
 	return s
 }
 
-// Summarize drains dec and returns its one-pass summary.
+// Summarize drains dec and returns its one-pass summary. It reads
+// through the batched decode path, so the per-record cost is the Add
+// fold, not interface dispatch — this is what tracestat -stream and
+// corpus ingest run over whole corpora.
 func Summarize(dec Decoder) (Summary, error) {
 	acc := NewSummarizer()
+	buf := make([]Request, drainChunk)
 	for {
-		r, err := dec.Next()
+		n, err := DecodeBatch(dec, buf)
+		for _, r := range buf[:n] {
+			acc.Add(r)
+		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return Summary{}, err
 		}
-		acc.Add(r)
 	}
 	return acc.Summary(dec.Meta()), nil
 }
