@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/corpus"
@@ -76,12 +77,15 @@ func run(args []string, stdout io.Writer) error {
 func cmdAdd(store *corpus.Store, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("add", flag.ContinueOnError)
 	format := fs.String("format", "auto", `input format: "auto", "csv", "bin", "msrc", "spc"`)
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"ingest decode workers (digesting pipelines with the parallel parse; <2 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("add needs at least one trace file (or - for stdin)")
 	}
+	store.SetParallel(*parallel)
 	for _, path := range fs.Args() {
 		var (
 			e       corpus.Entry

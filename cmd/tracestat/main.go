@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/engine"
@@ -35,10 +36,12 @@ func main() {
 	groups := flag.Bool("groups", true, "print per-group classification")
 	stream := flag.Bool("stream", false,
 		"one-pass streaming summary with bounded memory (skips groups and the model fit)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"decode workers for -stream file inputs (stdin always decodes sequentially)")
 	flag.Parse()
 
 	if *stream {
-		if err := runStream(*in, *informat); err != nil {
+		if err := runStream(*in, *informat, *parallel); err != nil {
 			fatal(err)
 		}
 		return
@@ -134,22 +137,36 @@ func usDurD(v float64) time.Duration { return time.Duration(v * float64(time.Mic
 // runStream prints the one-pass summary: the whole-trace metrics the
 // materializing path shows, computed over the streaming decoder (with
 // a bounded reorder window for the near-sorted corpora) so memory
-// stays constant regardless of trace size.
-func runStream(path, format string) error {
-	r, closeIn, err := openInput(path)
-	if err != nil {
-		return err
-	}
-	defer closeIn()
-	if format == "auto" {
-		if format, r, err = trace.SniffFormat(r); err != nil {
+// stays constant regardless of trace size. File inputs big enough to
+// split decode on parallel workers; stdin falls back to the
+// sequential decoder (no ReaderAt to segment).
+func runStream(path, format string, parallel int) error {
+	var (
+		dec     trace.Decoder
+		closeIn func()
+	)
+	if path != "" {
+		d, resolved, closeDec, err := trace.OpenFileDecoder(path, format, parallel)
+		if err != nil {
+			return err
+		}
+		dec, format, closeIn = d, resolved, closeDec
+	} else {
+		r, closeStdin, err := openInput(path)
+		if err != nil {
+			return err
+		}
+		closeIn = closeStdin
+		if format == "auto" {
+			if format, r, err = trace.SniffFormat(r); err != nil {
+				return err
+			}
+		}
+		if dec, err = trace.NewDecoder(format, r); err != nil {
 			return err
 		}
 	}
-	dec, err := trace.NewDecoder(format, r)
-	if err != nil {
-		return err
-	}
+	defer closeIn()
 	if trace.NeedsSort(format) {
 		dec = trace.NewReorderDecoder(dec, engine.DefaultReorderWindow)
 	}

@@ -48,7 +48,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080",
 		"listen address (loopback by default: the API is unauthenticated and job specs name server-side file paths)")
 	jobs := flag.Int("jobs", 2, "concurrent job executors")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine workers per job")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"engine workers per job, and decode workers for corpus uploads (<2 = sequential ingest)")
 	minIdleGap := flag.Duration("min-idle-gap", time.Millisecond, "epoch cut threshold")
 	maxShard := flag.Int("max-shard", 0, "max requests per shard (0 = engine default)")
 	retain := flag.Int("retain", 0, "finished in-memory results kept before eviction (0 = default)")
@@ -64,6 +65,7 @@ func main() {
 		MaxShardRequests: *maxShard,
 	}
 	srv := newServer(base, *jobs, *retain)
+	srv.ingestParallel = *parallel
 	if *dataDir != "" {
 		if err := srv.openData(*dataDir); err != nil {
 			fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)

@@ -115,6 +115,10 @@ type server struct {
 	base          engine.Config
 	mux           *http.ServeMux
 	retainResults int
+	// ingestParallel is the corpus-upload decode worker count, applied
+	// to the store when openData attaches it (uploads are streamed, so
+	// ingest uses the double-buffered parallel decoder).
+	ingestParallel int
 
 	// store and jnl are attached by openData before serving (nil when
 	// the daemon runs without -data); immutable afterwards.
@@ -184,6 +188,7 @@ func (s *server) openData(dir string) error {
 	if err != nil {
 		return err
 	}
+	store.SetParallel(s.ingestParallel)
 	jnl, recs, err := openJournal(filepath.Join(dir, "journal.jsonl"))
 	if err != nil {
 		return err

@@ -229,6 +229,36 @@ func Run(opts Options) (*Report, error) {
 		add(measure(fmt.Sprintf("decode/csv/size=%s", sz), reqs, int64(len(csvData)), 0, decode("csv", csvData)))
 		add(measure(fmt.Sprintf("decode/bin/size=%s", sz), reqs, int64(len(binData)), 0, decode("bin", binData)))
 
+		// Segmented parallel decode at each worker count (workers=1
+		// measures the fan-out overhead floor against plain decode).
+		decodePar := func(format string, data []byte, w int) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dec := trace.NewParallelDecoder(bytes.NewReader(data), int64(len(data)), format, w)
+					n := 0
+					for {
+						batch, err := dec.ReadBatch()
+						n += len(batch)
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					dec.Close()
+					if int64(n) != reqs {
+						b.Fatalf("decoded %d of %d", n, reqs)
+					}
+				}
+			}
+		}
+		for _, w := range workers {
+			add(measure(fmt.Sprintf("decode-par/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, decodePar("csv", csvData, w)))
+			add(measure(fmt.Sprintf("decode-par/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, decodePar("bin", binData, w)))
+		}
+
 		encode := func(format string) func(b *testing.B) {
 			return func(b *testing.B) {
 				b.ReportAllocs()
@@ -262,15 +292,33 @@ func Run(opts Options) (*Report, error) {
 					}
 				}))
 
+			// End-to-end decode → shard → encode. At workers > 1 the
+			// decode side runs on the segmented parallel decoder, the
+			// fused multi-core ingest path; workers=1 keeps the
+			// sequential decoder so the scenario stays comparable with
+			// pre-fusion baselines.
 			e2e := func(format string, data []byte) func(b *testing.B) {
 				return func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						dec, err := trace.NewDecoder(format, bytes.NewReader(data))
-						if err != nil {
-							b.Fatal(err)
+						var (
+							dec trace.Decoder
+							pd  *trace.ParallelDecoder
+						)
+						if w > 1 {
+							pd = trace.NewParallelDecoder(bytes.NewReader(data), int64(len(data)), format, w)
+							dec = pd
+						} else {
+							sd, err := trace.NewDecoder(format, bytes.NewReader(data))
+							if err != nil {
+								b.Fatal(err)
+							}
+							dec = sd
 						}
 						rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
+						if pd != nil {
+							pd.Close()
+						}
 						if err != nil {
 							b.Fatal(err)
 						}

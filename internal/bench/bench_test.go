@@ -140,3 +140,69 @@ func TestRunSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareSkipsParallelOnSingleCPU locks the gate policy for the
+// multi-worker scenarios: runs recorded on a 1-CPU machine (the dev
+// container, or a throttled runner) neither gate nor are gated on
+// workers>1 scenarios, where fan-out measures scheduling, not code.
+func TestCompareSkipsParallelOnSingleCPU(t *testing.T) {
+	mk := func(name string, workers int, reqPerSec float64) Result {
+		return Result{Name: name, Workers: workers, ReqPerSec: reqPerSec}
+	}
+	baseline := &Report{SchemaVersion: SchemaVersion, CPUs: 8, Results: []Result{
+		mk("e2e/bin/size=200k/workers=1", 1, 1000),
+		mk("e2e/bin/size=200k/workers=8", 8, 8000),
+		mk("decode-par/csv/size=200k/workers=8", 8, 8000),
+	}}
+	current := &Report{SchemaVersion: SchemaVersion, CPUs: 1, Results: []Result{
+		mk("e2e/bin/size=200k/workers=1", 1, 950),
+		mk("e2e/bin/size=200k/workers=8", 8, 900), // would be -89%: skipped
+		mk("decode-par/csv/size=200k/workers=8", 8, 700),
+	}}
+	regs, compared := Compare(baseline, current, DefaultTolerance())
+	if compared != 1 {
+		t.Fatalf("compared %d scenarios, want 1 (workers>1 skipped on 1 CPU)", compared)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Both multi-core: everything compares, and the parallel drop trips.
+	current.CPUs = 8
+	regs, compared = Compare(baseline, current, DefaultTolerance())
+	if compared != 3 {
+		t.Fatalf("compared %d scenarios, want 3", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+}
+
+// TestRunSmokeParallelScenarios checks the decode-par scenarios are
+// emitted and plausible.
+func TestRunSmokeParallelScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is seconds-long")
+	}
+	rep, err := Run(Options{Sizes: []int{2000}, Workers: []int{1, 2}, Quick: true, Revision: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]Result{}
+	for _, r := range rep.Results {
+		names[r.Name] = r
+	}
+	for _, n := range []string{
+		"decode-par/csv/size=2k/workers=1", "decode-par/bin/size=2k/workers=1",
+		"decode-par/csv/size=2k/workers=2", "decode-par/bin/size=2k/workers=2",
+		"e2e/bin/size=2k/workers=2",
+	} {
+		r, ok := names[n]
+		if !ok {
+			t.Fatalf("scenario %s missing from report", n)
+		}
+		if r.ReqPerSec <= 0 || r.Requests != 2000 {
+			t.Fatalf("scenario %s: implausible result %+v", n, r)
+		}
+	}
+}

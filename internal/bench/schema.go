@@ -89,14 +89,23 @@ func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', 4, 64) }
 // allocs/req increase beyond tol.AllocsPerReqSlack. compared reports
 // how many scenarios were actually matched; a gate should treat
 // compared == 0 as a configuration error, not a pass.
+//
+// Multi-worker scenarios (Workers > 1) are skipped when either report
+// ran on a single CPU: parallel fan-out on one core measures only
+// scheduling overhead, so comparing it against (or from) a multi-core
+// run would gate on machine shape, not code.
 func Compare(baseline, current *Report, tol Tolerance) (regs []Regression, compared int) {
 	base := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
 		base[r.Name] = r
 	}
+	singleCPU := baseline.CPUs == 1 || current.CPUs == 1
 	for _, cur := range current.Results {
 		b, ok := base[cur.Name]
 		if !ok {
+			continue
+		}
+		if singleCPU && cur.Workers > 1 {
 			continue
 		}
 		compared++

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -22,8 +24,20 @@ import (
 type Store struct {
 	root string
 
+	// parallel is the ingest decode worker count (1 = sequential).
+	parallel atomic.Int32
+
 	mu      sync.Mutex
 	entries map[string]Entry
+}
+
+// SetParallel sets the number of decode workers Ingest uses (values
+// below 2 select the sequential path). With workers, ingest runs the
+// double-buffered parallel decoder over the upload tee, so the SHA-256
+// digest and blob spooling (reader side) pipeline with the parse
+// (worker side).
+func (s *Store) SetParallel(n int) {
+	s.parallel.Store(int32(n))
 }
 
 // Open opens (creating if needed) the store rooted at root. The
@@ -153,10 +167,47 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 	h := sha256.New()
 	cw := &countingWriter{}
 	tee := io.TeeReader(r, io.MultiWriter(h, cw, tmpf))
-	dec, err := trace.NewDecoder(format, tee)
-	if err != nil {
-		// The format hint came from the caller.
-		return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, err)
+	var dec trace.Decoder
+	if workers := int(s.parallel.Load()); workers > 1 {
+		// Probe the first ParallelMinBytes before fanning out: a small
+		// upload that ends inside the probe decodes sequentially from
+		// the buffered prefix, so it never pays the block buffers and
+		// worker goroutines of the parallel pipeline. The probe bytes
+		// pass through the tee either way, so the digest and spooled
+		// blob are unaffected.
+		head := make([]byte, trace.ParallelMinBytes)
+		n, rerr := io.ReadFull(tee, head)
+		head = head[:n]
+		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
+			return Entry{}, false, rerr
+		}
+		if rerr != nil { // whole upload fits in the probe
+			sd, serr := trace.NewDecoder(format, bytes.NewReader(head))
+			if serr != nil {
+				// The format hint came from the caller.
+				return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, serr)
+			}
+			dec = sd
+		} else {
+			// The parallel decoder's coordinator goroutine owns all
+			// reads of its source (the replayed probe, then the tee),
+			// so digesting and spooling run concurrently with the
+			// worker-side parse; after Summarize returns (or Close, on
+			// the error path) the tee is ours again for the trailing
+			// drain.
+			pd, perr := trace.NewStreamParallelDecoder(io.MultiReader(bytes.NewReader(head), tee), format, workers)
+			if perr != nil {
+				return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, perr)
+			}
+			defer pd.Close()
+			dec = pd
+		}
+	} else {
+		sd, serr := trace.NewDecoder(format, tee)
+		if serr != nil {
+			return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, serr)
+		}
+		dec = sd
 	}
 	sum, err := trace.Summarize(dec)
 	if err != nil {

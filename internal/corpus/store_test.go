@@ -339,3 +339,112 @@ func TestGC(t *testing.T) {
 		t.Fatal("gc removed a live object")
 	}
 }
+
+// TestIngestParallelMatchesSequential locks the parallel ingest
+// pipeline: with decode workers enabled, every format (including a
+// counted binary blob with trailing bytes, which the decoder stops
+// before) must land with the same digest, size and summary as the
+// sequential path — the digest must cover every uploaded byte either
+// way.
+func TestIngestParallelMatchesSequential(t *testing.T) {
+	tr := sampleTrace()
+	var binBuf bytes.Buffer
+	if err := trace.WriteBinary(&binBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	binTrailing := append(append([]byte{}, binBuf.Bytes()...), []byte("trailing-bytes-beyond-count")...)
+
+	// A trace past ParallelMinBytes, so ingest actually takes the
+	// stream-parallel pipeline (smaller uploads fall back to decoding
+	// the probe prefix sequentially).
+	big := &trace.Trace{Name: "corpus-big", Workload: "w", Set: "FIU", TsdevKnown: true}
+	big.Requests = make([]trace.Request, 40_000)
+	for i := range big.Requests {
+		big.Requests[i] = trace.Request{
+			Arrival: time.Duration(i) * 41 * time.Microsecond,
+			Device:  uint32(i % 3),
+			LBA:     uint64(i * 16),
+			Sectors: 8,
+			Op:      trace.Op(i % 2),
+			Latency: time.Duration(80+i%40) * time.Microsecond,
+		}
+	}
+	bigCSV := csvBytes(t, big)
+	if len(bigCSV) < trace.ParallelMinBytes {
+		t.Fatalf("big fixture only %d bytes; must exceed ParallelMinBytes", len(bigCSV))
+	}
+
+	cases := []struct {
+		name   string
+		format string
+		data   []byte
+	}{
+		{"csv", "csv", csvBytes(t, tr)},
+		{"bin", "bin", binBuf.Bytes()},
+		{"bin-trailing", "bin", binTrailing},
+		{"auto-sniffed", "auto", csvBytes(t, tr)},
+		{"csv-big-parallel", "csv", bigCSV},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqStore := openStore(t)
+			parStore := openStore(t)
+			parStore.SetParallel(4)
+			want, _, err := seqStore.Ingest(bytes.NewReader(tc.data), tc.format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, created, err := parStore.Ingest(bytes.NewReader(tc.data), tc.format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !created {
+				t.Fatal("parallel ingest not created")
+			}
+			want.Ingested, got.Ingested = time.Time{}, time.Time{}
+			if got != want {
+				t.Fatalf("parallel entry diverges:\n got %+v\nwant %+v", got, want)
+			}
+			rc, _, err := parStore.OpenBlob(got.Digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+			stored, err := io.ReadAll(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stored, tc.data) {
+				t.Fatal("parallel-ingested blob bytes diverge from upload")
+			}
+		})
+	}
+}
+
+// TestIngestParallelRejects keeps the rejection behaviour intact on
+// the parallel path: undecodable uploads are ErrBadTrace and leave
+// nothing behind.
+func TestIngestParallelRejects(t *testing.T) {
+	s := openStore(t)
+	s.SetParallel(4)
+	for _, in := range []struct{ data, format string }{
+		{"not,a,trace\n", "csv"},
+		{"", "bin"},
+		{"garbage", "auto"},
+	} {
+		_, _, err := s.Ingest(strings.NewReader(in.data), in.format)
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("%q as %q: err %v, want ErrBadTrace", in.data, in.format, err)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected uploads landed: %d entries", s.Len())
+	}
+	tmps, err := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("rejected uploads left %d staging files", len(tmps))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -362,6 +363,54 @@ func TestStreamPlannerMatchesPlanSlice(t *testing.T) {
 		}
 		if got[i].hasNext != want[i].hasNext || got[i].nextArrival != want[i].nextArrival {
 			t.Fatalf("shard %d next carry differs", i)
+		}
+	}
+}
+
+// TestReconstructPathParallelDecode locks the fused ingest: when the
+// input file is big enough for the segmented parallel decoder to
+// engage, ReconstructPath's output stays byte-identical to the
+// single-worker (sequential-decode) run, for a headered CSV input and
+// a counted binary input.
+func TestReconstructPathParallelDecode(t *testing.T) {
+	old := genOld(t, "MSNFS", 40_000, true)
+	dir := t.TempDir()
+	write := func(name string, enc func(io.Writer, *trace.Trace) error) string {
+		path := dir + "/" + name
+		var buf bytes.Buffer
+		if err := enc(&buf, old); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() < trace.ParallelMinBytes {
+			t.Fatalf("%s fixture too small (%d bytes) to engage the parallel decoder", name, buf.Len())
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for _, tc := range []struct {
+		format string
+		path   string
+	}{
+		{"bin", write("in.bin", trace.WriteBinary)},
+		{"csv", write("in.csv", trace.WriteCSV)},
+	} {
+		run := func(workers int) []byte {
+			var out bytes.Buffer
+			e := New(testConfig(workers, core.Options{}))
+			rep, err := e.ReconstructPath(tc.path, tc.format, 0, trace.NewCSVEncoder(&out))
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", tc.format, workers, err)
+			}
+			if rep.Requests != int64(old.Len()) {
+				t.Fatalf("%s w=%d: %d of %d requests", tc.format, workers, rep.Requests, old.Len())
+			}
+			return out.Bytes()
+		}
+		want := run(1)
+		if got := run(4); !bytes.Equal(got, want) {
+			t.Fatalf("%s: parallel-decode streaming output diverges from single-worker run", tc.format)
 		}
 	}
 }

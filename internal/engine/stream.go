@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"repro/internal/core"
@@ -28,27 +27,16 @@ var ErrModelRequired = errors.New("engine: input requires an inference model; fi
 // only possible for Tsdev-known corpora, which skip this pass.
 func FitModel(dec trace.Decoder, opts infer.EstimateOptions) (*infer.Model, int, error) {
 	c := infer.NewStreamClassifier()
-	buf := make([]trace.Request, decodeBatchLen)
-	for {
-		n, err := trace.DecodeBatch(dec, buf)
-		for _, r := range buf[:n] {
-			c.Add(r)
-		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, c.N(), err
-		}
+	err := trace.ForEachBatch(dec, func(batch []trace.Request) error {
+		c.AddBatch(batch)
+		return nil
+	})
+	if err != nil {
+		return nil, c.N(), err
 	}
 	m, err := infer.EstimateGrouping(c.Grouping(), dec.Meta().Name, opts)
 	return m, c.N(), err
 }
-
-// decodeBatchLen is the read-batch size of the engine's streaming
-// consumers: large enough to amortize the per-record decoder dispatch
-// to nothing, small enough to stay cache-resident.
-const decodeBatchLen = 512
 
 // ReconstructStream runs the sharded reconstruction over a request
 // stream, writing the reconstructed trace to enc (Begin through Close;
@@ -108,20 +96,21 @@ func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infe
 		if err := feed(first); err != nil {
 			return err
 		}
-		buf := make([]trace.Request, decodeBatchLen)
-		for {
-			n, err := trace.DecodeBatch(dec, buf)
-			for _, r := range buf[:n] {
+		// Fused parallel ingest: with a parallel decoder, its workers
+		// fill batches concurrently with this planner loop and with the
+		// shard executors downstream, so decode and emulation overlap
+		// end-to-end and the planner consumes pre-decoded batches
+		// without copying them into its own buffer first.
+		err := trace.ForEachBatch(dec, func(batch []trace.Request) error {
+			for _, r := range batch {
 				if err := feed(r); err != nil {
 					return err
 				}
 			}
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		if last := planner.finish(); last != nil {
 			return submit(*last)
@@ -194,13 +183,15 @@ func reportFromCore(rep *core.Report, requests int64, workers int) *Report {
 // an input file: pass one fits the model if the corpus needs it, pass
 // two streams the sharded reconstruction into enc. reorderWindow
 // (<= 1 = none) inserts a bounded arrival-sort window, which the
-// near-sorted event-traced corpora (msrc) need.
+// near-sorted event-traced corpora (msrc) need. Both passes decode on
+// the engine's worker count via the segmented parallel decoder when
+// the input file is large enough to split.
 func (e *Engine) ReconstructPath(inPath, informat string, reorderWindow int, enc trace.Encoder) (*Report, error) {
 	m, err := e.fitModelFromPath(inPath, informat, reorderWindow)
 	if err != nil {
 		return nil, err
 	}
-	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow)
+	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow, e.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +204,10 @@ func (e *Engine) ReconstructPath(inPath, informat string, reorderWindow int, enc
 // so the input is re-opened and fitted with FitModel.
 func (e *Engine) fitModelFromPath(inPath, informat string, reorderWindow int) (*infer.Model, error) {
 	// The probe only needs the header metadata, which doesn't depend
-	// on record order — skip the reorder window so it doesn't buffer
-	// a whole window of requests to answer a one-record question.
-	probe, closeProbe, err := openDecoder(inPath, informat, 0)
+	// on record order — skip the reorder window (so it doesn't buffer
+	// a whole window of requests to answer a one-record question) and
+	// the parallel decoder (one record never justifies a fan-out).
+	probe, closeProbe, err := openDecoder(inPath, informat, 0, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +223,7 @@ func (e *Engine) fitModelFromPath(inPath, informat string, reorderWindow int) (*
 	if !needModel {
 		return nil, nil
 	}
-	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow)
+	dec, closeDec, err := openDecoder(inPath, informat, reorderWindow, e.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -240,20 +232,16 @@ func (e *Engine) fitModelFromPath(inPath, informat string, reorderWindow int) (*
 	return m, err
 }
 
-// openDecoder opens a format decoder over a file, optionally wrapped
-// in a reorder window.
-func openDecoder(path, format string, reorderWindow int) (trace.Decoder, func(), error) {
-	f, err := os.Open(path)
+// openDecoder opens a format decoder over a file — segmented parallel
+// when workers > 1 and the file is big enough to split — optionally
+// wrapped in a reorder window.
+func openDecoder(path, format string, reorderWindow, workers int) (trace.Decoder, func(), error) {
+	dec, _, closeDec, err := trace.OpenFileDecoder(path, format, workers)
 	if err != nil {
-		return nil, nil, err
-	}
-	dec, err := trace.NewDecoder(format, f)
-	if err != nil {
-		f.Close()
 		return nil, nil, err
 	}
 	if reorderWindow > 1 {
 		dec = trace.NewReorderDecoder(dec, reorderWindow)
 	}
-	return dec, func() { f.Close() }, nil
+	return dec, closeDec, nil
 }

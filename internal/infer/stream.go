@@ -55,6 +55,15 @@ func (c *StreamClassifier) Add(r trace.Request) {
 	c.n++
 }
 
+// AddBatch presents a run of consecutive requests — the fold the
+// engine's model-fit pass runs over pre-decoded batches from the
+// parallel decoders.
+func (c *StreamClassifier) AddBatch(rs []trace.Request) {
+	for _, r := range rs {
+		c.Add(r)
+	}
+}
+
 // N returns the number of requests seen.
 func (c *StreamClassifier) N() int { return c.n }
 

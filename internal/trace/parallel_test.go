@@ -1,0 +1,427 @@
+package trace
+
+// Locks for the parallel decode pipeline: for every input format and
+// worker count, both parallel decoders must produce exactly the
+// sequential Decoder's request sequence (verified structurally and by
+// re-encoding both sides to identical bytes), stop at the same record
+// on malformed inputs, and stay allocation-free per record in steady
+// state.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parVariant is one input fixture the identity tests decode both ways.
+type parVariant struct {
+	name   string
+	format string
+	data   []byte
+}
+
+// parVariants renders the fixture matrix: every format, plus layout
+// hazards (metadata header, comment runs mid-file, CRLF line endings,
+// blank lines, uncounted binary streams).
+func parVariants(t testing.TB, n int) []parVariant {
+	t.Helper()
+	tr := benchTrace(n)
+	var out []parVariant
+	render := func(name, format string, enc func(io.Writer, *Trace) error) []byte {
+		var buf bytes.Buffer
+		if err := enc(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, parVariant{name: name, format: format, data: buf.Bytes()})
+		return buf.Bytes()
+	}
+	csvData := render("csv/plain", "csv", WriteCSV)
+	render("bin/counted", "bin", WriteBinary)
+	render("msrc/plain", "msrc", writeMSRCStyle)
+	render("spc/plain", "spc", writeSPCStyle)
+
+	// Uncounted binary stream (streaming-encoder form).
+	var ubin bytes.Buffer
+	enc := NewBinaryEncoder(&ubin)
+	if err := EncodeTrace(enc, tr); err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, parVariant{name: "bin/uncounted", format: "bin", data: ubin.Bytes()})
+
+	// CSV with comment runs, blank lines and CRLF endings sprinkled
+	// through the data region.
+	lines := strings.Split(strings.TrimSuffix(string(csvData), "\n"), "\n")
+	var hazard strings.Builder
+	for i, ln := range lines {
+		switch {
+		case i > 0 && i%997 == 0:
+			hazard.WriteString("# mid-file comment run\n# another comment\n\n")
+		case i > 0 && i%411 == 0:
+			hazard.WriteString(ln)
+			hazard.WriteString("\r\n")
+			continue
+		}
+		hazard.WriteString(ln)
+		hazard.WriteString("\n")
+	}
+	out = append(out, parVariant{name: "csv/hazards", format: "csv", data: []byte(hazard.String())})
+
+	// MSRC with a leading comment/blank prelude.
+	var mbuf bytes.Buffer
+	mbuf.WriteString("# event trace export\n\n# columns: ts,host,disk,op,off,size,resp\n")
+	if err := writeMSRCStyle(&mbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, parVariant{name: "msrc/prelude", format: "msrc", data: mbuf.Bytes()})
+	return out
+}
+
+// collectSeq drains dec via Next, returning the requests before the
+// terminal condition and the terminal error (nil for clean EOF).
+func collectSeq(dec Decoder) ([]Request, Meta, error) {
+	var out []Request
+	for {
+		r, err := dec.Next()
+		if err == io.EOF {
+			return out, dec.Meta(), nil
+		}
+		if err != nil {
+			return out, dec.Meta(), err
+		}
+		out = append(out, r)
+	}
+}
+
+// encodeCSVBytes renders a request slice under meta for byte-level
+// comparison.
+func encodeCSVBytes(t testing.TB, m Meta, reqs []Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewCSVEncoder(&buf)
+	if err := enc.Begin(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := enc.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDecodeByteIdentical is the acceptance lock: both
+// parallel decoders, at workers 1/4/8, reproduce the sequential
+// decoder byte-for-byte on every format.
+func TestParallelDecodeByteIdentical(t *testing.T) {
+	for _, v := range parVariants(t, 30_000) {
+		seq, err := NewDecoder(v.format, bytes.NewReader(v.data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantReqs, wantMeta, wantErr := collectSeq(seq)
+		if wantErr != nil {
+			t.Fatalf("%s: sequential decode failed: %v", v.name, wantErr)
+		}
+		want := encodeCSVBytes(t, wantMeta, wantReqs)
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/file/workers=%d", v.name, workers), func(t *testing.T) {
+				pd := NewParallelDecoder(bytes.NewReader(v.data), int64(len(v.data)), v.format, workers)
+				defer pd.Close()
+				gotReqs, gotMeta, gotErr := collectSeq(pd)
+				if gotErr != nil {
+					t.Fatalf("parallel decode failed: %v", gotErr)
+				}
+				if gotMeta != wantMeta {
+					t.Fatalf("meta mismatch: got %+v want %+v", gotMeta, wantMeta)
+				}
+				got := encodeCSVBytes(t, gotMeta, gotReqs)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("parallel output differs from sequential (%d vs %d requests)", len(gotReqs), len(wantReqs))
+				}
+			})
+			t.Run(fmt.Sprintf("%s/stream/workers=%d", v.name, workers), func(t *testing.T) {
+				sd, err := NewStreamParallelDecoder(bytes.NewReader(v.data), v.format, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sd.Close()
+				gotReqs, gotMeta, gotErr := collectSeq(sd)
+				if gotErr != nil {
+					t.Fatalf("stream parallel decode failed: %v", gotErr)
+				}
+				if gotMeta != wantMeta {
+					t.Fatalf("meta mismatch: got %+v want %+v", gotMeta, wantMeta)
+				}
+				got := encodeCSVBytes(t, gotMeta, gotReqs)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("stream parallel output differs from sequential (%d vs %d requests)", len(gotReqs), len(wantReqs))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDecodeBatchPaths exercises the DecodeBatch and ReadBatch
+// consumption paths against the Next path.
+func TestParallelDecodeBatchPaths(t *testing.T) {
+	tr := benchTrace(20_000)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	viaBatch := func(dec Decoder) []Request {
+		var out []Request
+		tmp := make([]Request, 100)
+		for {
+			n, err := DecodeBatch(dec, tmp)
+			out = append(out, tmp[:n]...)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	viaRead := func(br BatchReader) []Request {
+		var out []Request
+		for {
+			b, err := br.ReadBatch()
+			out = append(out, b...)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	pd := NewParallelDecoder(bytes.NewReader(data), int64(len(data)), "csv", 4)
+	defer pd.Close()
+	got := viaBatch(pd)
+	if len(got) != tr.Len() {
+		t.Fatalf("DecodeBatch path: %d of %d requests", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Requests[i] {
+			t.Fatalf("DecodeBatch path: request %d differs", i)
+		}
+	}
+
+	sd, err := NewStreamParallelDecoder(bytes.NewReader(data), "csv", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	got = viaRead(sd)
+	if len(got) != tr.Len() {
+		t.Fatalf("ReadBatch path: %d of %d requests", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Requests[i] {
+			t.Fatalf("ReadBatch path: request %d differs", i)
+		}
+	}
+}
+
+// TestParallelDecodeErrors locks error behaviour: the parallel paths
+// must deliver exactly the records the sequential decoder delivers
+// before failing, then fail too.
+func TestParallelDecodeErrors(t *testing.T) {
+	tr := benchTrace(12_000)
+	var csvBuf, binBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&binBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	lateHeader := func() []byte {
+		lines := strings.SplitAfter(csvBuf.String(), "\n")
+		mid := len(lines) / 2
+		return []byte(strings.Join(lines[:mid], "") +
+			"# tracetracker name=late workload=x set=y tsdev_known=true\n" +
+			strings.Join(lines[mid:], ""))
+	}()
+	badRecord := func() []byte {
+		lines := strings.SplitAfter(csvBuf.String(), "\n")
+		mid := 2 * len(lines) / 3
+		return []byte(strings.Join(lines[:mid], "") + "not,a,record\n" + strings.Join(lines[mid:], ""))
+	}()
+	truncBin := binBuf.Bytes()[:binBuf.Len()-17]
+
+	cases := []struct {
+		name   string
+		format string
+		data   []byte
+	}{
+		{"csv/late-header", "csv", lateHeader},
+		{"csv/bad-record", "csv", badRecord},
+		{"bin/truncated-counted", "bin", truncBin},
+		{"msrc/bad-first-line", "msrc", []byte("# c\nnot-an-msrc-line\n")},
+		{"bin/empty", "bin", nil},
+		{"bin/short-header", "bin", []byte("TTR1\x05")},
+	}
+	for _, tc := range cases {
+		seq, err := NewDecoder(tc.format, bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantReqs, _, wantErr := collectSeq(seq)
+		if wantErr == nil {
+			t.Fatalf("%s: expected a sequential decode error", tc.name)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				pd := NewParallelDecoder(bytes.NewReader(tc.data), int64(len(tc.data)), tc.format, workers)
+				defer pd.Close()
+				gotReqs, _, gotErr := collectSeq(pd)
+				if gotErr == nil {
+					t.Fatalf("parallel decode succeeded, want error like %q", wantErr)
+				}
+				if len(gotReqs) != len(wantReqs) {
+					t.Fatalf("parallel delivered %d records before failing, sequential %d", len(gotReqs), len(wantReqs))
+				}
+				sd, err := NewStreamParallelDecoder(bytes.NewReader(tc.data), tc.format, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sd.Close()
+				gotReqs, _, gotErr = collectSeq(sd)
+				if gotErr == nil {
+					t.Fatalf("stream parallel decode succeeded, want error like %q", wantErr)
+				}
+				if len(gotReqs) != len(wantReqs) {
+					t.Fatalf("stream parallel delivered %d records before failing, sequential %d", len(gotReqs), len(wantReqs))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDecodeEmptyText locks the no-data cases: empty input and
+// comment-only input decode to zero records with the prelude metadata.
+func TestParallelDecodeEmptyText(t *testing.T) {
+	header := "# tracetracker name=empty workload=w set=S tsdev_known=true\n# comment\n\n"
+	for _, tc := range []struct {
+		name, format, data string
+	}{
+		{"csv/empty", "csv", ""},
+		{"csv/comments-only", "csv", header},
+		{"spc/empty", "spc", ""},
+		{"msrc/comments-only", "msrc", "# nothing here\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := NewDecoder(tc.format, bytes.NewReader([]byte(tc.data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReqs, wantMeta, wantErr := collectSeq(seq)
+			if wantErr != nil || len(wantReqs) != 0 {
+				t.Fatalf("sequential: %d reqs, err %v", len(wantReqs), wantErr)
+			}
+			pd := NewParallelDecoder(bytes.NewReader([]byte(tc.data)), int64(len(tc.data)), tc.format, 4)
+			defer pd.Close()
+			gotReqs, gotMeta, gotErr := collectSeq(pd)
+			if gotErr != nil || len(gotReqs) != 0 {
+				t.Fatalf("parallel: %d reqs, err %v", len(gotReqs), gotErr)
+			}
+			if gotMeta != wantMeta {
+				t.Fatalf("meta mismatch: got %+v want %+v", gotMeta, wantMeta)
+			}
+			sd, err := NewStreamParallelDecoder(bytes.NewReader([]byte(tc.data)), tc.format, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sd.Close()
+			gotReqs, gotMeta, gotErr = collectSeq(sd)
+			if gotErr != nil || len(gotReqs) != 0 {
+				t.Fatalf("stream parallel: %d reqs, err %v", len(gotReqs), gotErr)
+			}
+			if gotMeta != wantMeta {
+				t.Fatalf("stream meta mismatch: got %+v want %+v", gotMeta, wantMeta)
+			}
+		})
+	}
+}
+
+// TestParallelDecoderCloseEarly abandons parallel decoders mid-stream;
+// Close must join every goroutine without deadlocking (the -race run
+// doubles as a leak check for blocked sends).
+func TestParallelDecoderCloseEarly(t *testing.T) {
+	tr := benchTrace(50_000)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	pd := NewParallelDecoder(bytes.NewReader(data), int64(len(data)), "csv", 4)
+	for i := 0; i < 10; i++ {
+		if _, err := pd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pd.Close()
+
+	sd, err := NewStreamParallelDecoder(bytes.NewReader(data), "csv", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sd.Close()
+}
+
+// TestParallelDecodeAllocs bounds the per-record allocation cost of
+// the parallel path: amortized over a full decode it must stay under
+// 0.01 allocs/record — the free-list recycling at work.
+func TestParallelDecodeAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 120_000
+	tr := benchTrace(n)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	drain := func(br BatchReader) {
+		got := 0
+		for {
+			b, err := br.ReadBatch()
+			got += len(b)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got != n {
+			t.Fatalf("decoded %d of %d", got, n)
+		}
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		pd := NewParallelDecoder(bytes.NewReader(data), int64(len(data)), "bin", 4)
+		drain(pd)
+		pd.Close()
+	})
+	if perRec := avg / n; perRec > 0.01 {
+		t.Fatalf("parallel decode allocates %.4f/record (%.0f/run), want <= 0.01", perRec, avg)
+	}
+}

@@ -86,6 +86,59 @@ func DecodeBatch(dec Decoder, dst []Request) (int, error) {
 	return decodeBatch(dec, dst)
 }
 
+// BatchReader is implemented by decoders that expose their internally
+// decoded batches (the parallel decoders), letting whole-stream
+// consumers iterate requests without copying them into their own
+// buffer first. ReadBatch returns the next non-empty run of requests,
+// or io.EOF when the stream is exhausted; the returned slice is only
+// valid until the next call on the decoder.
+type BatchReader interface {
+	Decoder
+	ReadBatch() ([]Request, error)
+}
+
+// ForEachBatch drains dec to EOF, invoking fn on each non-empty run
+// of requests: the decoder's own batches when it is a BatchReader (no
+// copy), drainChunk-sized reads into a scratch buffer otherwise. It
+// returns fn's first error, or the decode error; the slice handed to
+// fn is only valid for that call. This is the one drain loop shared
+// by every whole-stream consumer (Summarize, the engine's model fit
+// and produce loop, Drain's batch path), so decoder-facing changes
+// land in one place.
+func ForEachBatch(dec Decoder, fn func([]Request) error) error {
+	if br, ok := dec.(BatchReader); ok {
+		for {
+			batch, err := br.ReadBatch()
+			if len(batch) > 0 {
+				if ferr := fn(batch); ferr != nil {
+					return ferr
+				}
+			}
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	buf := make([]Request, drainChunk)
+	for {
+		n, err := DecodeBatch(dec, buf)
+		if n > 0 {
+			if ferr := fn(buf[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
 // decodeBatch is the shared DecodeBatch body. Each concrete decoder
 // instantiates it with its own type, so the inner Next calls are
 // direct (devirtualized), which is where the batch speedup comes
@@ -137,6 +190,21 @@ func Drain(dec Decoder) (*Trace, error) {
 			t.Requests = make([]Request, 0, min(n, maxPrealloc))
 		}
 	}
+	if _, ok := dec.(BatchReader); ok {
+		// Parallel decoders hand over their internal batches; append
+		// copies them straight into the trace.
+		err := ForEachBatch(dec, func(batch []Request) error {
+			t.Requests = append(t.Requests, batch...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.applyMeta(dec.Meta())
+		return t, nil
+	}
+	// The sequential path decodes straight into the trace slice — no
+	// intermediate buffer — so it keeps its own loop.
 	for {
 		n := len(t.Requests)
 		t.Requests = slices.Grow(t.Requests, drainChunk)
@@ -417,11 +485,21 @@ type BinaryDecoder struct {
 	idx       uint64
 }
 
+// newBinReader sizes the read buffer the binary decoder peeks records
+// out of.
+func newBinReader(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, 128<<10)
+}
+
 // NewBinaryDecoder wraps r in a binary request stream. Header parse
 // errors surface on the first Next call.
 func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
-	d := &BinaryDecoder{br: bufio.NewReaderSize(r, 128<<10)}
-	d.headerErr = d.readHeader()
+	d := &BinaryDecoder{br: newBinReader(r)}
+	var count uint64
+	d.meta, d.counted, count, d.headerErr = parseBinHeader(d.br)
+	if d.counted {
+		d.remaining = count
+	}
 	if d.headerErr == io.EOF {
 		// A stream ending inside the header (including a 0-byte file)
 		// is a truncated trace, not a clean end-of-stream — Next must
@@ -431,54 +509,55 @@ func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
 	return d
 }
 
-func (d *BinaryDecoder) readHeader() error {
+// parseBinHeader reads the binary header (magic, metadata strings,
+// flags, request count) from r — shared by the sequential decoder and
+// the segment splitter, so the two paths cannot drift.
+func parseBinHeader(r io.Reader) (m Meta, counted bool, count uint64, err error) {
 	var magic [4]byte
-	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
-		return err
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return m, false, 0, err
 	}
 	if magic != binaryMagic {
-		return fmt.Errorf("trace: bad magic %q", magic)
+		return m, false, 0, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	readString := func() (string, error) {
 		var lenbuf [2]byte
-		if _, err := io.ReadFull(d.br, lenbuf[:]); err != nil {
+		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
 			return "", err
 		}
 		buf := make([]byte, binary.LittleEndian.Uint16(lenbuf[:]))
-		if _, err := io.ReadFull(d.br, buf); err != nil {
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
 		}
 		return string(buf), nil
 	}
-	var err error
-	if d.meta.Name, err = readString(); err != nil {
-		return err
+	if m.Name, err = readString(); err != nil {
+		return m, false, 0, err
 	}
-	if d.meta.Workload, err = readString(); err != nil {
-		return err
+	if m.Workload, err = readString(); err != nil {
+		return m, false, 0, err
 	}
-	if d.meta.Set, err = readString(); err != nil {
-		return err
+	if m.Set, err = readString(); err != nil {
+		return m, false, 0, err
 	}
-	flags, err := d.br.ReadByte()
-	if err != nil {
-		return err
+	var flags [1]byte
+	if _, err := io.ReadFull(r, flags[:]); err != nil {
+		return m, false, 0, err
 	}
-	d.meta.TsdevKnown = flags&1 != 0
+	m.TsdevKnown = flags[0]&1 != 0
 	var cnt [8]byte
-	if _, err := io.ReadFull(d.br, cnt[:]); err != nil {
-		return err
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return m, false, 0, err
 	}
 	n := binary.LittleEndian.Uint64(cnt[:])
 	if n != streamingCount {
 		const maxRequests = 1 << 31
 		if n > maxRequests {
-			return fmt.Errorf("trace: implausible request count %d", n)
+			return m, false, 0, fmt.Errorf("trace: implausible request count %d", n)
 		}
-		d.remaining = n
-		d.counted = true
+		return m, true, n, nil
 	}
-	return nil
+	return m, false, 0, nil
 }
 
 // Meta implements Decoder.
@@ -924,11 +1003,14 @@ const reorderBatch = 256
 // ReorderDecoder wraps a decoder with a bounded min-heap window: as
 // long as no request is displaced by more than window positions from
 // its sorted slot, the output order equals the stable arrival sort the
-// whole-trace readers produce — with O(window + reorderBatch) memory
-// instead of the whole trace. (Refilling in batches can buffer a few
-// hundred requests beyond the window; holding more than window+1
-// items only ever sorts harder, so the output-order guarantee is
-// unaffected.) Event-traced corpora (MSRC) are near-sorted, so a
+// whole-trace readers produce — with O(window) memory instead of the
+// whole trace. The heap never holds more than window+1 requests: the
+// refill reads exactly the deficit, so the declared window is a hard
+// buffering and read-ahead bound, not a hint batching may overshoot.
+// (The steady-state refill is therefore one record per emit — the
+// price of the hard bound, since popping safely requires window+1
+// buffered first; batch consumers still amortize through
+// DecodeBatch.) Event-traced corpora (MSRC) are near-sorted, so a
 // small window suffices.
 type ReorderDecoder struct {
 	inner  Decoder
@@ -957,13 +1039,19 @@ func (d *ReorderDecoder) Next() (Request, error) {
 	if d.err != nil {
 		return Request{}, d.err
 	}
-	// Hold at least window+1 items before emitting: popping the min of
-	// w+1 buffered requests is what guarantees displacements up to w.
+	// Hold window+1 items before emitting: popping the min of w+1
+	// buffered requests is what guarantees displacements up to w. Read
+	// only the deficit so the heap never grows past window+1 — the
+	// declared window is a hard buffering bound, not a hint.
 	for !d.done && len(d.h) <= d.window {
 		if d.batch == nil {
 			d.batch = make([]Request, reorderBatch)
 		}
-		n, err := DecodeBatch(d.inner, d.batch)
+		want := d.window + 1 - len(d.h)
+		if want > len(d.batch) {
+			want = len(d.batch)
+		}
+		n, err := DecodeBatch(d.inner, d.batch[:want])
 		for _, r := range d.batch[:n] {
 			heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
 			d.seq++

@@ -272,3 +272,53 @@ func TestSeqState(t *testing.T) {
 		t.Fatal("clone mutation leaked into parent")
 	}
 }
+
+// countingDecoder wraps a decoder and counts how many requests the
+// consumer has pulled out of it.
+type countingDecoder struct {
+	inner Decoder
+	n     int
+}
+
+func (c *countingDecoder) Next() (Request, error) {
+	r, err := c.inner.Next()
+	if err == nil {
+		c.n++
+	}
+	return r, err
+}
+
+func (c *countingDecoder) Meta() Meta { return c.inner.Meta() }
+
+// TestReorderDecoderWindowBound is the regression test for the PR 3
+// caveat: a ReorderDecoder must never read more than window+1 records
+// past what it has emitted — the declared window is a hard buffering
+// bound, not a refill hint that batching may overshoot by hundreds of
+// records.
+func TestReorderDecoderWindowBound(t *testing.T) {
+	tr := benchTrace(4_000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	const window = 7
+	cd := &countingDecoder{inner: NewBinaryDecoder(bytes.NewReader(buf.Bytes()))}
+	dec := NewReorderDecoder(cd, window)
+	emitted := 0
+	for {
+		_, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted++
+		if ahead := cd.n - emitted; ahead > window+1 {
+			t.Fatalf("reorder decoder read %d records past its output; window is %d", ahead, window)
+		}
+	}
+	if emitted != tr.Len() {
+		t.Fatalf("emitted %d of %d", emitted, tr.Len())
+	}
+}

@@ -6,7 +6,6 @@ package trace
 // bounded-memory counterpart of the Trace accessor methods.
 
 import (
-	"io"
 	"math"
 	"time"
 )
@@ -122,23 +121,20 @@ func (a *Summarizer) Summary(m Meta) Summary {
 }
 
 // Summarize drains dec and returns its one-pass summary. It reads
-// through the batched decode path, so the per-record cost is the Add
+// through the batched decode path — or straight out of a parallel
+// decoder's internal batches — so the per-record cost is the Add
 // fold, not interface dispatch — this is what tracestat -stream and
 // corpus ingest run over whole corpora.
 func Summarize(dec Decoder) (Summary, error) {
 	acc := NewSummarizer()
-	buf := make([]Request, drainChunk)
-	for {
-		n, err := DecodeBatch(dec, buf)
-		for _, r := range buf[:n] {
+	err := ForEachBatch(dec, func(batch []Request) error {
+		for _, r := range batch {
 			acc.Add(r)
 		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return Summary{}, err
-		}
+		return nil
+	})
+	if err != nil {
+		return Summary{}, err
 	}
 	return acc.Summary(dec.Meta()), nil
 }
