@@ -7,15 +7,19 @@
 // engine (internal/engine): the trace is cut into epochs at idle-period
 // boundaries and reconstructed on -parallel workers (default
 // GOMAXPROCS), with output byte-identical to the sequential pipeline.
-// -stream additionally bounds memory by streaming the input through
-// the engine instead of materializing it (requires -in and -out; the
-// output is written atomically and the fio job file is not emitted in
-// this mode).
+// -device selects the target: the flash array (default) runs
+// shard-parallel, while the HDD target runs on the engine's
+// epoch-pipelined snapshot/handoff path — also at the full -parallel
+// worker count, no serial fallback. -stream additionally bounds memory
+// by streaming the input through the engine instead of materializing
+// it (requires -in and -out; the output is written atomically and the
+// fio job file is not emitted in this mode).
 //
 // Usage:
 //
 //	tracetracker -in old.csv -out new.csv
 //	tracetracker -in old.csv -parallel 8 -out new.csv
+//	tracetracker -in old.csv -device hdd -parallel 8 -out oldnode.csv
 //	tracetracker -in old.bin -informat bin -stream -out new.bin -outformat bin
 //	tracetracker -in old.csv -method revision -out rev.csv
 //	tracetracker -in old.bin -informat bin -report
@@ -31,7 +35,6 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/infer"
 	"repro/internal/report"
@@ -46,6 +49,8 @@ func main() {
 	fioDevice := flag.String("fio-device", "/dev/nvme0n1", "target device path for fio output")
 	method := flag.String("method", "tracetracker",
 		`reconstruction method: "tracetracker", "dynamic", "fixed-th", "revision", "acceleration"`)
+	devName := flag.String("device", "new",
+		`reconstruction target: "new"/"array" (the paper's flash array), "ssd", or "old"/"hdd" (runs on the epoch-pipelined engine path at full -parallel)`)
 	factor := flag.Float64("factor", baseline.DefaultAccelerationFactor, "acceleration factor")
 	threshold := flag.Duration("threshold", baseline.DefaultFixedThreshold, "fixed-th idle threshold")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
@@ -57,8 +62,13 @@ func main() {
 	showReport := flag.Bool("report", false, "print the reconstruction report to stderr")
 	flag.Parse()
 
+	mkDevice, err := engine.DeviceFactory(*devName)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *stream {
-		if err := runStream(*in, *informat, *out, *outformat, *fioDevice, *method, *parallel, *reorderWindow, *showReport); err != nil {
+		if err := runStream(*in, *informat, *out, *outformat, *fioDevice, *method, *devName, *parallel, *reorderWindow, *showReport); err != nil {
 			fatal(err)
 		}
 		return
@@ -72,7 +82,6 @@ func main() {
 		fatal(fmt.Errorf("input: %w", err))
 	}
 
-	target := device.NewArray(device.DefaultArrayConfig())
 	var (
 		result *trace.Trace
 		rep    *core.Report
@@ -82,12 +91,13 @@ func main() {
 		eng := engine.New(engine.Config{
 			Workers: *parallel,
 			Core:    core.Options{SkipPostProcess: *method == "dynamic"},
+			Device:  mkDevice,
 		})
 		result, rep, err = eng.Reconstruct(old)
 	case "fixed-th":
-		result = baseline.FixedTh(old, target, *threshold)
+		result = baseline.FixedTh(old, mkDevice(), *threshold)
 	case "revision":
-		result = baseline.Revision(old, target)
+		result = baseline.Revision(old, mkDevice())
 	case "acceleration":
 		result = baseline.Acceleration(old, *factor)
 	default:
@@ -118,7 +128,7 @@ func main() {
 // the same engine.RunJob the daemon executes (two passes over the
 // input file: model fit, then sharded reconstruction; the output is
 // written atomically).
-func runStream(in, informat, out, outformat, fioDevice, method string, parallel, reorderWindow int, showReport bool) error {
+func runStream(in, informat, out, outformat, fioDevice, method, devName string, parallel, reorderWindow int, showReport bool) error {
 	if in == "" {
 		return fmt.Errorf("-stream needs -in (the model-fit pass re-reads the input)")
 	}
@@ -141,6 +151,7 @@ func runStream(in, informat, out, outformat, fioDevice, method string, parallel,
 		OutFormat:     outformat,
 		FIODevice:     fioDevice,
 		Method:        method,
+		Device:        devName,
 		Parallel:      parallel,
 		Stream:        true,
 		ReorderWindow: reorderWindow,

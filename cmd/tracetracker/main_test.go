@@ -113,42 +113,55 @@ func TestRunStreamMatchesSequential(t *testing.T) {
 	if err := writeTrace(inPath, "bin", "", old); err != nil {
 		t.Fatal(err)
 	}
-	outPath := filepath.Join(dir, "out.csv")
-	if err := runStream(inPath, "bin", outPath, "csv", "", "tracetracker", 4, 0, false); err != nil {
-		t.Fatal(err)
-	}
+	for _, tc := range []struct {
+		devName string
+		target  device.Device
+	}{
+		{"new", device.NewArray(device.DefaultArrayConfig())},
+		// The HDD target drives the epoch-pipelined engine path from
+		// the CLI — no serial fallback, same bytes.
+		{"hdd", device.NewHDD(device.DefaultHDDConfig())},
+	} {
+		outPath := filepath.Join(dir, "out-"+tc.devName+".csv")
+		if err := runStream(inPath, "bin", outPath, "csv", "", "tracetracker", tc.devName, 4, 0, false); err != nil {
+			t.Fatal(err)
+		}
 
-	want, _, err := core.Reconstruct(old, device.NewArray(device.DefaultArrayConfig()), core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantPath := filepath.Join(dir, "want.csv")
-	if err := writeTrace(wantPath, "csv", "", want); err != nil {
-		t.Fatal(err)
-	}
-	got, err := os.ReadFile(outPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantBytes, err := os.ReadFile(wantPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, wantBytes) {
-		t.Fatal("-stream output diverges from sequential reconstruction")
+		want, _, err := core.Reconstruct(old, tc.target, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPath := filepath.Join(dir, "want-"+tc.devName+".csv")
+		if err := writeTrace(wantPath, "csv", "", want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes, err := os.ReadFile(wantPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, wantBytes) {
+			t.Fatalf("-stream -device %s output diverges from sequential reconstruction", tc.devName)
+		}
 	}
 }
 
 // TestRunStreamRejectsStdin checks -stream demands file input/output
 // and an engine method.
 func TestRunStreamRejectsStdin(t *testing.T) {
-	if err := runStream("", "csv", "out.csv", "csv", "", "tracetracker", 1, 0, false); err == nil {
+	if err := runStream("", "csv", "out.csv", "csv", "", "tracetracker", "new", 1, 0, false); err == nil {
 		t.Fatal("-stream without -in accepted")
 	}
-	if err := runStream("x.csv", "csv", "", "csv", "", "tracetracker", 1, 0, false); err == nil {
+	if err := runStream("x.csv", "csv", "", "csv", "", "tracetracker", "new", 1, 0, false); err == nil {
 		t.Fatal("-stream without -out accepted")
 	}
-	if err := runStream("x.csv", "csv", "out.csv", "csv", "", "revision", 1, 0, false); err == nil {
+	if err := runStream("x.csv", "csv", "out.csv", "csv", "", "revision", "new", 1, 0, false); err == nil {
 		t.Fatal("-stream with baseline method accepted")
+	}
+	if err := runStream("x.csv", "csv", "out.csv", "csv", "", "tracetracker", "floppy", 1, 0, false); err == nil {
+		t.Fatal("-stream with unknown device accepted")
 	}
 }

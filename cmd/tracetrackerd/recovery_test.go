@@ -12,6 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/trace"
 )
@@ -366,6 +368,85 @@ func TestJournalReplayRecovery(t *testing.T) {
 		t.Fatalf("post-restart id %q does not continue the journal sequence", idNext)
 	}
 	waitDone(t, ts2, idNext)
+}
+
+// TestJournalReplayInterruptedHDDJob checks the restart contract for
+// HDD-target jobs: an interrupted job (submit record without a finish
+// — what a killed server leaves) re-queues on startup, re-runs through
+// the epoch-pipelined HDD path at its full worker count, and serves a
+// result byte-identical to the sequential HDD reconstruction.
+func TestJournalReplayInterruptedHDDJob(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	inPath, _ := writeInput(t, dir)
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: ingest the input, then shut down cleanly with no jobs.
+	srv1 := dataServer(t, dataDir)
+	ts1 := httptest.NewServer(srv1)
+	digest := uploadCorpus(t, ts1, raw, "csv")
+	ts1.Close()
+	srv1.Close()
+
+	// Phase 2: forge the crash artifact — a submit record for an HDD
+	// job with no matching finish.
+	interrupted := engine.JobSpec{
+		In: "corpus:" + digest, InFormat: "csv", Device: "hdd", Parallel: 4,
+	}.Normalized()
+	rec := journalRecord{
+		Op: journalSubmit, ID: "job-9", Time: time.Now(),
+		Spec: &interrupted, Digest: digest,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dataDir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Phase 3: restart; the job re-runs (no prior result exists to hit).
+	srv2 := dataServer(t, dataDir)
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	j := waitDone(t, ts2, "job-9")
+	if j.Cached {
+		t.Fatal("interrupted HDD job cannot be a cache hit: it never finished")
+	}
+	if j.Report == nil || j.Report.Workers != 4 {
+		t.Fatalf("HDD job report workers: %+v", j.Report)
+	}
+	if j.Report.Shards < 2 {
+		t.Fatalf("HDD job ran %d epochs; the pipelined path should cut several", j.Report.Shards)
+	}
+	got := getBody(t, ts2.URL+"/jobs/job-9/result")
+
+	// The expectation is the sequential HDD pipeline over the same
+	// decoded blob — the pre-pipeline serial path.
+	oldRT, err := trace.ReadCSV(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := core.Reconstruct(oldRT, device.NewHDD(device.DefaultHDDConfig()), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := trace.WriteCSV(&wantCSV, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantCSV.Bytes()) {
+		t.Fatal("re-run HDD result diverges from the sequential HDD reconstruction")
+	}
 }
 
 // TestGracefulCloseGrace checks CloseGrace drains running jobs within

@@ -330,6 +330,44 @@ func Run(opts Options) (*Report, error) {
 			}
 			add(measure(fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, e2e("bin", binData)))
 			add(measure(fmt.Sprintf("e2e/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, e2e("csv", csvData)))
+
+			// HDD target: the epoch-pipelined snapshot/handoff path (the
+			// constrained device the paper's co-evaluation measures).
+			// workers=1 doubles as the pipelining-overhead floor against
+			// the old serial fallback; reconstruct-hdd times the
+			// in-memory engine, e2e-hdd the streaming decode → pipeline
+			// → parallel csv render chain.
+			hddEng := engine.New(engine.Config{
+				Workers: w,
+				Device:  func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) },
+			})
+			add(measure(fmt.Sprintf("reconstruct-hdd/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						out, _, err := hddEng.Reconstruct(tr)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if out.Len() != tr.Len() {
+							b.Fatal("request count mismatch")
+						}
+					}
+				}))
+			add(measure(fmt.Sprintf("e2e-hdd/csv/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						dec := trace.NewBinaryDecoder(bytes.NewReader(binData))
+						rep, err := hddEng.ReconstructStream(dec, trace.NewCSVEncoder(io.Discard), nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if rep.Requests != reqs {
+							b.Fatalf("reconstructed %d of %d", rep.Requests, reqs)
+						}
+					}
+				}))
 		}
 	}
 	rep.PeakRSSBytes = readPeakRSS()

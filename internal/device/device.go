@@ -65,6 +65,41 @@ func IsShardSafe(d Device) bool {
 	return ok && s.ShardSafe()
 }
 
+// State is an opaque device-state snapshot. Each Stateful device
+// returns its own concrete value type; a State is only meaningful to
+// a device built from the same configuration as the one that took it.
+type State any
+
+// Stateful is implemented by devices whose complete servicing state at
+// a quiescent point — a virtual time at or after the last completion
+// signalled to the host — can be captured and re-established. This is
+// the handoff contract of the pipelined emulation of non-shard-safe
+// devices (replay.EmulateShardResume): a serial pass snapshots the
+// state at each epoch boundary, and a worker restoring that snapshot
+// into its own device instance reproduces the epoch's servicing
+// exactly.
+//
+// "Quiescent" matters: the synchronous emulation loop never submits
+// before the previous completion, but completion is a host-side event
+// — a write-back cache may signal it while the mechanism still owes
+// destage work, so pending busy state past the completion must be part
+// of the snapshot (the HDD's busyUntil). State that cannot outlive the
+// last completion (the flash simulators') snapshots trivially.
+type Stateful interface {
+	// Snapshot captures the device's servicing state as a value
+	// independent of the device's future evolution.
+	Snapshot() State
+	// Restore replaces the device's state with a snapshot taken from a
+	// same-configured device.
+	Restore(State)
+}
+
+// IsStateful reports whether d supports snapshot/restore handoff.
+func IsStateful(d Device) bool {
+	_, ok := d.(Stateful)
+	return ok
+}
+
 // bytesDuration returns the time to move n bytes at rate bytesPerSec.
 func bytesDuration(n int64, bytesPerSec float64) time.Duration {
 	if bytesPerSec <= 0 {

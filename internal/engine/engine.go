@@ -4,6 +4,12 @@
 // to the sequential pipeline while scaling with cores and, in streaming
 // mode, holding only a bounded window of the trace in memory.
 //
+// Shard-safe devices (the flash simulators) run shard-parallel with
+// time translation as described below; non-shard-safe devices that
+// support state handoff (device.Stateful — the HDD) run on the
+// epoch-pipelined executor instead (see pipeline.go); devices with
+// neither capability fall back to the sequential pipeline.
+//
 // # Why sharding is exact
 //
 // The emulation loop is synchronous: every instruction is submitted at
@@ -127,11 +133,13 @@ type Report struct {
 // Reconstruct is the in-memory entry point: it reproduces
 // core.Reconstruct(old, target, cfg.Core) exactly — byte-identical
 // output and report — but executes the per-shard work on cfg.Workers
-// goroutines. Devices without shard-safe semantics fall back to the
-// sequential pipeline.
+// goroutines: shard-parallel for shard-safe devices, epoch-pipelined
+// (see pipeline.go) for stateful devices like the HDD. Devices with
+// neither capability fall back to the sequential pipeline.
 func (e *Engine) Reconstruct(old *trace.Trace) (*trace.Trace, *core.Report, error) {
 	dev := e.cfg.Device()
-	if !device.IsShardSafe(dev) {
+	shardSafe := device.IsShardSafe(dev)
+	if !shardSafe && !device.IsStateful(dev) {
 		return core.Reconstruct(old, dev, e.cfg.Core)
 	}
 
@@ -168,6 +176,19 @@ func (e *Engine) Reconstruct(old *trace.Trace) (*trace.Trace, *core.Report, erro
 			pos = end
 			return submit(s)
 		})
+	}
+	if !shardSafe {
+		err = e.executePipelined(produce, rep.Model, useRecorded, nil, func(res pipeResult) error {
+			rep.IdleCount += res.idleCount
+			rep.IdleTotal += res.idleTotal
+			rep.AsyncCount += res.asyncCount
+			rep.Shards++
+			return nil
+		}, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, rep, nil
 	}
 	err = e.execute(produce, rep.Model, useRecorded, func(res shardResult, offset time.Duration) error {
 		if offset != 0 {

@@ -124,12 +124,17 @@ func TestForceInferenceParity(t *testing.T) {
 	}
 }
 
-// TestNonShardSafeFallback checks that a device without shard-safe
-// emulation routes through the sequential pipeline (and still agrees
-// with it, trivially).
+// TestNonShardSafeFallback checks that a device with neither
+// shard-safe emulation nor state handoff (an Instrumented wrapper
+// hides both capabilities) routes through the sequential pipeline
+// (and still agrees with it, trivially). The raw HDD no longer lands
+// here — it is Stateful and runs the epoch pipeline (hdd_test.go).
 func TestNonShardSafeFallback(t *testing.T) {
 	old := genOld(t, "ikki", 600, true)
-	mk := func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }
+	mk := func() device.Device { return device.NewInstrumented(device.NewHDD(device.DefaultHDDConfig())) }
+	if dev := mk(); device.IsShardSafe(dev) || device.IsStateful(dev) {
+		t.Fatal("fixture device must have neither engine capability")
+	}
 	want, _, err := core.Reconstruct(old, mk(), core.Options{})
 	if err != nil {
 		t.Fatal(err)

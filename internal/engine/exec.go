@@ -113,10 +113,16 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 // planner (which opens the next shard). The in-flight token pool
 // bounds how many buffers circulate, so steady-state streaming
 // reconstruction allocates nothing per shard once the list warms up.
+// The pipelined executor additionally recycles its per-epoch
+// decomposition scratch (durs/flags) and pre-rendered output buffers
+// (bytes) through the same pool.
 type bufPool struct {
-	mu   sync.Mutex
-	reqs [][]trace.Request
-	seqs [][]bool
+	mu    sync.Mutex
+	reqs  [][]trace.Request
+	seqs  [][]bool
+	durs  [][]time.Duration
+	flags [][]bool
+	bytes [][]byte
 }
 
 func (p *bufPool) getReqs() []trace.Request {
@@ -156,6 +162,76 @@ func (p *bufPool) putSeqs(b []bool) {
 	}
 	p.mu.Lock()
 	p.seqs = append(p.seqs, b)
+	p.mu.Unlock()
+}
+
+// getDurs returns a duration scratch of length n (stale contents are
+// fine: DecomposeShardInto overwrites every slot it reads).
+func (p *bufPool) getDurs(n int) []time.Duration {
+	p.mu.Lock()
+	var b []time.Duration
+	if k := len(p.durs); k > 0 {
+		b = p.durs[k-1]
+		p.durs = p.durs[:k-1]
+	}
+	p.mu.Unlock()
+	if cap(b) < n {
+		return make([]time.Duration, n)
+	}
+	return b[:n]
+}
+
+func (p *bufPool) putDurs(b []time.Duration) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.durs = append(p.durs, b)
+	p.mu.Unlock()
+}
+
+// getFlags returns a bool scratch of length n (see getDurs).
+func (p *bufPool) getFlags(n int) []bool {
+	p.mu.Lock()
+	var b []bool
+	if k := len(p.flags); k > 0 {
+		b = p.flags[k-1]
+		p.flags = p.flags[:k-1]
+	}
+	p.mu.Unlock()
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	return b[:n]
+}
+
+func (p *bufPool) putFlags(b []bool) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.flags = append(p.flags, b)
+	p.mu.Unlock()
+}
+
+// getBytes returns an empty byte buffer for epoch encoding.
+func (p *bufPool) getBytes() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k := len(p.bytes); k > 0 {
+		b := p.bytes[k-1]
+		p.bytes = p.bytes[:k-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (p *bufPool) putBytes(b []byte) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.bytes = append(p.bytes, b)
 	p.mu.Unlock()
 }
 

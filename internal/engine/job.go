@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/device"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,12 @@ type JobSpec struct {
 	// Method is one of tracetracker (default), dynamic, fixed-th,
 	// revision, acceleration.
 	Method string `json:"method,omitempty"`
+	// Device is the reconstruction target: "array" (default; alias
+	// "new" — the paper's 4-SSD flash array), "ssd" (one member SSD),
+	// or "hdd" (alias "old" — the decade-old disk the public traces
+	// were captured on). HDD jobs run on the engine's epoch-pipelined
+	// path, so Parallel applies to them like any other job.
+	Device string `json:"device,omitempty"`
 	// Factor is the acceleration divisor (acceleration method).
 	Factor float64 `json:"factor,omitempty"`
 	// ThresholdUS is the fixed-th idle threshold in microseconds.
@@ -62,6 +69,7 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.Method == "" {
 		s.Method = "tracetracker"
 	}
+	s.Device = normalizeDevice(s.Device)
 	if s.Name == "" {
 		s.Name = s.In
 	}
@@ -102,6 +110,9 @@ func (s JobSpec) Validate() error {
 	default:
 		return fmt.Errorf("engine: unknown method %q", s.Method)
 	}
+	if _, err := DeviceFactory(s.Device); err != nil {
+		return err
+	}
 	if s.Stream {
 		if s.Method != "tracetracker" && s.Method != "dynamic" {
 			return fmt.Errorf("engine: streaming supports the tracetracker/dynamic methods, not %q", s.Method)
@@ -111,6 +122,34 @@ func (s JobSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// normalizeDevice canonicalizes JobSpec.Device aliases; unknown names
+// pass through for Validate to reject.
+func normalizeDevice(name string) string {
+	switch name {
+	case "", "new", "array":
+		return "array"
+	case "old", "hdd":
+		return "hdd"
+	default:
+		return name
+	}
+}
+
+// DeviceFactory maps a JobSpec.Device name (aliases included, "" =
+// array) to a per-worker device constructor for engine.Config.Device.
+func DeviceFactory(name string) (func() device.Device, error) {
+	switch normalizeDevice(name) {
+	case "array":
+		return func() device.Device { return device.NewArray(device.DefaultArrayConfig()) }, nil
+	case "ssd":
+		return func() device.Device { return device.NewSSD(device.DefaultSSDConfig()) }, nil
+	case "hdd":
+		return func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown device %q", name)
+	}
 }
 
 // JobResult is the outcome of one job.
@@ -133,6 +172,14 @@ func RunJob(cfg Config, spec JobSpec) (*JobResult, error) {
 	if spec.Parallel > 0 {
 		cfg.Workers = spec.Parallel
 	}
+	// The spec's device selects the target for every method; HDD
+	// targets run on the epoch-pipelined engine path at the job's full
+	// worker count — they no longer imply a serial reconstruction.
+	dev, err := DeviceFactory(spec.Device)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Device = dev
 	switch spec.Method {
 	case "dynamic":
 		cfg.Core.SkipPostProcess = true

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestStreamAbandonClosesDecoder is the engine side of the PR 4 leak
+// delta: a planner validation error abandons the input decoder
+// mid-stream, and ReconstructStream must close it so a parallel
+// decoder's workers exit instead of leaking.
+func TestStreamAbandonClosesDecoder(t *testing.T) {
+	old := genOld(t, "MSNFS", 40_000, true)
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, old); err != nil {
+		t.Fatal(err)
+	}
+	// Swap an early record's arrival far forward so the planner sees an
+	// unsorted stream after a few shards, with decode segments still in
+	// flight behind it.
+	lines := strings.SplitAfter(buf.String(), "\n")
+	lines[len(lines)/4] = "999999999.000,0,100,8,R,5.000,0\n"
+	data := []byte(strings.Join(lines, ""))
+	if len(data) < trace.ParallelMinBytes {
+		t.Fatalf("fixture too small (%d bytes) for the parallel decoder", len(data))
+	}
+	path := t.TempDir() + "/unsorted.csv"
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		dec, closeDec, err := openDecoder(path, "csv", 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(testConfig(2, core.Options{}))
+		if _, err := e.ReconstructStream(dec, trace.NewCSVEncoder(bytes.NewBuffer(nil)), nil); err == nil {
+			t.Fatal("want an unsorted-input error")
+		}
+		// ReconstructStream already closed the decoder; the openDecoder
+		// close func is the caller's usual cleanup and must be a no-op
+		// join on top.
+		closeDec()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,296 @@
+package engine
+
+// Epoch-pipelined execution for non-shard-safe devices (the HDD).
+//
+// A shard-safe device drains between epochs, so every epoch can be
+// emulated from a fresh device at time zero and shifted into place —
+// that is the execute() path. The HDD cannot: its head position,
+// rotational phase and write-cache destage debt persist across idle
+// periods, so epoch k's servicing depends on everything before it.
+// What it does NOT depend on is anything expensive: given the device's
+// entry state and the entry virtual time, the epoch's servicing is a
+// pure function of the epoch itself.
+//
+// The pipeline exploits that. Stages, per epoch:
+//
+//	planner (serial)    cut epochs at idle-gap boundaries, carry seq state
+//	decompose (pool)    infer per-request idle/async from the OLD trace —
+//	                    device-independent, so it runs before any device
+//	                    state exists for the epoch
+//	servicer (serial)   the only device-ordered pass: snapshot the entry
+//	                    state (device.Stateful), advance one continuously
+//	                    evolving device through the epoch's submissions,
+//	                    and accumulate the post-processing arrival shift
+//	                    — device arithmetic only, no output
+//	emulate (pool)      restore the entry snapshot into a per-worker
+//	                    device, re-run the epoch on the global timeline
+//	                    writing the output trace, post-process with the
+//	                    entry shift (arrivals become final), and render
+//	                    the output bytes when the encoder allows it
+//	merge (serial)      splice results back in epoch order
+//
+// Epochs are the handoff points because the planner already cuts them
+// at the workload's idle gaps: they are the natural quiescent points
+// where a snapshot is small (the device has signalled every prior
+// completion) and load balance is decent. The servicer and the workers
+// run the same submission sequence at the same absolute times against
+// deterministic devices, so the output is byte-identical to one
+// sequential emulation — locked by the HDD identity tests at workers
+// 1, 4 and 8.
+//
+// In-flight epochs are token-bounded exactly like execute(), so the
+// streaming path holds O(Workers · MaxShardRequests) requests no
+// matter how the stage throughputs differ.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/infer"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// pipeEpoch is one epoch travelling through the pipelined executor.
+type pipeEpoch struct {
+	s     shard
+	idle  []time.Duration
+	async []bool
+	// h and shift are attached by the servicer: the device handoff at
+	// the epoch's entry and the cumulative post-processing arrival
+	// reduction accumulated by all earlier epochs.
+	h     replay.Handoff
+	shift time.Duration
+}
+
+// pipeResult is one reconstructed epoch awaiting the ordered merge.
+// Arrivals are final (absolute timeline, post-processing applied), so
+// the merge adds no offsets.
+type pipeResult struct {
+	index int
+	n     int
+	// reqs holds the epoch's output records, nil when they were already
+	// rendered into enc (the requests buffer is recycled eagerly then).
+	reqs []trace.Request
+	enc  []byte
+
+	idleCount  int
+	idleTotal  time.Duration
+	asyncCount int
+}
+
+// executePipelined runs the epoch pipeline: produce submits epochs in
+// index order (same contract as execute); the worker pool serves both
+// the decompose and the emulate stages; the servicer goroutine threads
+// device state through the epochs in order; emit receives results in
+// epoch order with final arrivals. se, when non-nil, is the shard
+// encoder workers pre-render output bytes with (streaming only). pool
+// follows the execute() recycling discipline and must be non-nil
+// whenever se is.
+func (e *Engine) executePipelined(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, se trace.ShardEncoder, emit func(pipeResult) error, pool *bufPool) error {
+	workers := e.cfg.Workers
+	inflight := 4 * workers
+	// Every stage channel holds the full in-flight budget, so no stage
+	// send can block: the token pool is the only backpressure point.
+	decCh := make(chan pipeEpoch, inflight)
+	svcCh := make(chan pipeEpoch, inflight)
+	emuCh := make(chan pipeEpoch, inflight)
+	resCh := make(chan pipeResult, inflight)
+	tokens := make(chan struct{}, inflight)
+	stop := make(chan struct{})
+	skipPost := e.cfg.Core.SkipPostProcess
+
+	var produceErr error
+	go func() {
+		defer close(decCh)
+		produceErr = produce(func(s shard) error {
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return errAborted
+			}
+			decCh <- pipeEpoch{s: s}
+			return nil
+		})
+	}()
+
+	var wg, decDone sync.WaitGroup
+	wg.Add(workers)
+	decDone.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			dev := e.cfg.Device()
+			dec, emu := decCh, emuCh
+			for dec != nil || emu != nil {
+				select {
+				case ep, ok := <-emu:
+					if !ok {
+						emu = nil
+						continue
+					}
+					resCh <- e.runEpoch(&ep, dev, se, pool, skipPost)
+				case ep, ok := <-dec:
+					if !ok {
+						dec = nil
+						decDone.Done()
+						continue
+					}
+					e.decomposeEpoch(&ep, m, useRecorded, pool)
+					svcCh <- ep
+				}
+			}
+		}()
+	}
+	go func() {
+		decDone.Wait()
+		close(svcCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Servicer: the serial device-ordered pass.
+	go func() {
+		defer close(emuCh)
+		sdev := e.cfg.Device()
+		snap := sdev.(device.Stateful)
+		pending := make(map[int]pipeEpoch)
+		next := 0
+		var now, shift time.Duration
+		for ep := range svcCh {
+			pending[ep.s.index] = ep
+			for {
+				cur, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				cur.h = replay.Handoff{State: snap.Snapshot(), Now: now}
+				cur.shift = shift
+				var async []bool
+				if !skipPost {
+					async = cur.async
+				}
+				var delta time.Duration
+				now, delta = replay.ServiceShard(cur.s.reqs, sdev, cur.idle, async, now)
+				shift += delta
+				emuCh <- cur
+				next++
+			}
+		}
+	}()
+
+	var emitErr error
+	pending := make(map[int]pipeResult)
+	next := 0
+	for res := range resCh {
+		pending[res.index] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if emitErr == nil {
+				if err := emit(r); err != nil {
+					emitErr = err
+					close(stop)
+				}
+			}
+			if pool != nil {
+				pool.putBytes(r.enc)
+				if emitErr == nil {
+					// The requests are dead once emitted.
+					pool.putReqs(r.reqs)
+				}
+			}
+			next++
+			<-tokens
+		}
+	}
+	if produceErr != nil && produceErr != errAborted {
+		return produceErr
+	}
+	return emitErr
+}
+
+// decomposeEpoch is the first worker stage: per-request idle/async
+// inference with the epoch's carry context. The seq flags are dead
+// afterwards and recycle immediately.
+func (e *Engine) decomposeEpoch(ep *pipeEpoch, m *infer.Model, useRecorded bool, pool *bufPool) {
+	s := &ep.s
+	ctx := infer.ShardContext{
+		TsdevKnown:  useRecorded,
+		Seq:         s.seq,
+		HasNext:     s.hasNext,
+		NextArrival: s.nextArrival,
+	}
+	if s.hasPrev {
+		ctx.Prev = &s.prev
+		ctx.PrevSeq = s.prevSeq
+	}
+	if s.dst != nil {
+		// In-memory path: write straight into the report slots.
+		ep.idle, ep.async = s.dstIdle, s.dstAsync
+	} else {
+		n := len(s.reqs)
+		ep.idle = pool.getDurs(n)
+		ep.async = pool.getFlags(n)
+	}
+	infer.DecomposeShardInto(ep.idle, ep.async, m, s.reqs, ctx)
+	if pool != nil {
+		pool.putSeqs(s.seq)
+		s.seq = nil
+	}
+}
+
+// runEpoch is the second worker stage: re-run the epoch's emulation
+// from the entry handoff on this worker's device, post-process to
+// final arrivals, aggregate, and (streaming) render the output bytes.
+func (e *Engine) runEpoch(ep *pipeEpoch, dev device.Device, se trace.ShardEncoder, pool *bufPool, skipPost bool) pipeResult {
+	s := &ep.s
+	out := s.dst
+	if out == nil {
+		// Streaming path: emulate in place over the planner buffer. The
+		// decompose stage already consumed the original request data.
+		out = s.reqs
+	}
+	replay.EmulateShardResume(out, s.reqs, dev, ep.idle, ep.h)
+	if !skipPost {
+		// The servicer accounted the same reductions when it computed
+		// the next epoch's entry shift; starting from ep.shift makes
+		// these arrivals final.
+		core.PostProcessShard(out, ep.async, ep.shift)
+	}
+	res := pipeResult{index: s.index, n: len(out), reqs: out}
+	for _, d := range ep.idle {
+		if d > 0 {
+			res.idleCount++
+			res.idleTotal += d
+		}
+	}
+	for _, a := range ep.async {
+		if a {
+			res.asyncCount++
+		}
+	}
+	if s.dst == nil {
+		pool.putDurs(ep.idle)
+		pool.putFlags(ep.async)
+	}
+	if se != nil {
+		buf := pool.getBytes()
+		for i := range out {
+			buf = se.AppendRecord(buf, out[i])
+		}
+		res.enc = buf
+		// Rendered: the request buffer is dead already.
+		pool.putReqs(out)
+		res.reqs = nil
+	}
+	return res
+}

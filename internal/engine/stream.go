@@ -32,6 +32,7 @@ func FitModel(dec trace.Decoder, opts infer.EstimateOptions) (*infer.Model, int,
 		return nil
 	})
 	if err != nil {
+		trace.CloseDecoder(dec)
 		return nil, c.N(), err
 	}
 	m, err := infer.EstimateGrouping(c.Grouping(), dec.Meta().Name, opts)
@@ -49,10 +50,27 @@ func FitModel(dec trace.Decoder, opts infer.EstimateOptions) (*infer.Model, int,
 //
 // The input must be non-decreasing in arrival (wrap near-sorted
 // corpora in a trace.ReorderDecoder) with non-zero request sizes; the
-// planner rejects violations. Devices without shard-safe emulation
-// fall back to materializing the stream and running sequentially.
+// planner rejects violations. Non-shard-safe devices that support
+// state handoff (device.Stateful — the HDD) run on the epoch pipeline
+// (pipeline.go) with the same bounded memory; devices with neither
+// capability fall back to materializing the stream and running
+// sequentially.
+//
+// On any error the decoder is closed (trace.CloseDecoder), so an
+// abandoned parallel decode never leaks its worker goroutines.
 func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infer.Model) (*Report, error) {
-	if dev := e.cfg.Device(); !device.IsShardSafe(dev) {
+	rep, err := e.reconstructStream(dec, enc, m)
+	if err != nil {
+		trace.CloseDecoder(dec)
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (e *Engine) reconstructStream(dec trace.Decoder, enc trace.Encoder, m *infer.Model) (*Report, error) {
+	dev := e.cfg.Device()
+	shardSafe := device.IsShardSafe(dev)
+	if !shardSafe && !device.IsStateful(dev) {
 		return e.streamFallback(dec, enc, dev)
 	}
 
@@ -118,6 +136,10 @@ func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infe
 		return nil
 	}
 
+	if !shardSafe {
+		return e.streamPipelined(produce, enc, outMeta, m, useRecorded, pool, rep)
+	}
+
 	begun := false
 	emit := func(res shardResult, offset time.Duration) error {
 		if !begun {
@@ -145,8 +167,47 @@ func (e *Engine) ReconstructStream(dec trace.Decoder, enc trace.Encoder, m *infe
 	return rep, enc.Close()
 }
 
+// streamPipelined finishes a streaming reconstruction on the epoch
+// pipeline: results arrive in order with final arrivals, pre-rendered
+// to bytes when the encoder's records are stateless (ShardEncoder —
+// csv/bin), written record-by-record otherwise.
+func (e *Engine) streamPipelined(produce func(submit func(shard) error) error, enc trace.Encoder, outMeta trace.Meta, m *infer.Model, useRecorded bool, pool *bufPool, rep *Report) (*Report, error) {
+	se, _ := enc.(trace.ShardEncoder)
+	begun := false
+	emit := func(res pipeResult) error {
+		if !begun {
+			begun = true
+			if err := enc.Begin(outMeta); err != nil {
+				return err
+			}
+		}
+		if res.enc != nil {
+			if err := se.WriteRaw(res.enc); err != nil {
+				return err
+			}
+		} else {
+			for i := range res.reqs {
+				if err := enc.Write(res.reqs[i]); err != nil {
+					return err
+				}
+			}
+		}
+		rep.Requests += int64(res.n)
+		rep.Shards++
+		rep.IdleCount += res.idleCount
+		rep.IdleTotal += res.idleTotal
+		rep.AsyncCount += res.asyncCount
+		return nil
+	}
+	if err := e.executePipelined(produce, m, useRecorded, se, emit, pool); err != nil {
+		return nil, err
+	}
+	return rep, enc.Close()
+}
+
 // streamFallback materializes the stream and runs the sequential
-// pipeline, for devices without shard-safe emulation.
+// pipeline, for devices with neither shard-safe emulation nor state
+// handoff.
 func (e *Engine) streamFallback(dec trace.Decoder, enc trace.Encoder, dev device.Device) (*Report, error) {
 	old, err := trace.Drain(dec)
 	if err != nil {

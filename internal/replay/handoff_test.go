@@ -1,0 +1,111 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// handoffReqs synthesizes a request sequence with mixed sequential
+// runs, random jumps and both ops, plus idle periods.
+func handoffReqs(n int) ([]trace.Request, []time.Duration) {
+	rng := rand.New(rand.NewSource(11))
+	reqs := make([]trace.Request, n)
+	idle := make([]time.Duration, n)
+	lba := uint64(4096)
+	for i := range reqs {
+		if rng.Intn(4) == 0 {
+			lba = uint64(rng.Intn(1 << 28))
+		}
+		op := trace.Read
+		if rng.Intn(3) == 0 {
+			op = trace.Write
+		}
+		sectors := uint32(8 << rng.Intn(4))
+		reqs[i] = trace.Request{LBA: lba, Sectors: sectors, Op: op}
+		lba += uint64(sectors)
+		if rng.Intn(5) == 0 {
+			idle[i] = time.Duration(rng.Intn(3_000_000)) * time.Nanosecond
+		}
+	}
+	return reqs, idle
+}
+
+// TestEmulateShardResumeChains is the handoff identity: splitting an
+// emulation into epochs and chaining EmulateShardResume through the
+// returned handoffs reproduces one continuous EmulateShardInto run
+// exactly, on both HDD cache configurations (write-back caching leaves
+// destage debt in the snapshot) and on the trivially-stateful SSD.
+func TestEmulateShardResumeChains(t *testing.T) {
+	const n = 1200
+	reqs, idle := handoffReqs(n)
+	wc := device.DefaultHDDConfig()
+	wc.WriteCache = true
+	devs := map[string]func() device.Device{
+		"hdd":            func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) },
+		"hdd-writecache": func() device.Device { return device.NewHDD(wc) },
+		"ssd":            func() device.Device { return device.NewSSD(device.SSDConfig{}) },
+	}
+	for name, mk := range devs {
+		want := make([]trace.Request, n)
+		wantEnd := EmulateShardInto(want, reqs, mk(), idle)
+
+		got := make([]trace.Request, n)
+		h := Handoff{State: mk().(device.Stateful).Snapshot()}
+		// Uneven epoch cuts, including a one-request epoch.
+		cuts := []int{0, 1, 257, 600, 601, 999, n}
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			// A fresh device per epoch: restoring the handoff must be
+			// all the continuity the epoch needs.
+			h = EmulateShardResume(got[lo:hi], reqs[lo:hi], mk(), idle[lo:hi], h)
+		}
+		if h.Now != wantEnd {
+			t.Fatalf("%s: chained end %v, continuous end %v", name, h.Now, wantEnd)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: request %d diverges:\n got %+v\nwant %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestServiceShardLockstep checks the lightweight serial pass tracks
+// EmulateShardResume exactly: same end time, and a shift delta equal
+// to what core-style post-processing would accumulate from the
+// emulated latencies.
+func TestServiceShardLockstep(t *testing.T) {
+	const n = 800
+	reqs, idle := handoffReqs(n)
+	async := make([]bool, n)
+	for i := range async {
+		async[i] = i%3 == 0
+	}
+	mk := func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }
+
+	out := make([]trace.Request, n)
+	h := EmulateShardResume(out, reqs, mk(), idle, Handoff{State: mk().(device.Stateful).Snapshot()})
+
+	end, delta := ServiceShard(reqs, mk(), idle, async, 0)
+	if end != h.Now {
+		t.Fatalf("service end %v, emulate end %v", end, h.Now)
+	}
+	var want time.Duration
+	for i, r := range out {
+		if async[i] {
+			if red := r.Latency - SubmissionGap; red > 0 {
+				want += red
+			}
+		}
+	}
+	if delta != want {
+		t.Fatalf("shift delta %v, post-processing accumulates %v", delta, want)
+	}
+	if _, d := ServiceShard(reqs, mk(), idle, nil, 0); d != 0 {
+		t.Fatalf("nil async must accumulate no shift, got %v", d)
+	}
+}

@@ -184,6 +184,86 @@ func EmulateShardInto(dst, reqs []trace.Request, dev device.Device, idle []time.
 	return now
 }
 
+// Handoff is the carry between consecutive epochs of a pipelined
+// emulation over a non-shard-safe device: the device's state snapshot
+// at the epoch boundary and the absolute virtual time of the last
+// prior completion. Unlike the shard-safe path — which emulates every
+// shard from a drained device at time zero and shifts afterwards —
+// the pipelined path keeps all epochs on one global timeline, because
+// positional device state (the HDD's rotational phase) is a function
+// of absolute time.
+type Handoff struct {
+	// State is the device snapshot at the epoch boundary (a value from
+	// device.Stateful.Snapshot on a same-configured device).
+	State device.State
+	// Now is the completion time of the last instruction before the
+	// epoch (zero for the first epoch).
+	Now time.Duration
+}
+
+// EmulateShardResume runs the emulation loop over one epoch starting
+// from handoff h: dev (which must implement device.Stateful) is
+// restored to h.State and the loop continues at absolute time h.Now,
+// writing the collected trace into dst (len(dst) == len(reqs); in
+// place over reqs is allowed). The exit handoff is returned, so
+// chaining epochs through their handoffs reproduces one continuous
+// EmulateShardInto run over the concatenation exactly — that is the
+// identity the pipelined engine relies on, with the serial servicing
+// pass (ServiceShard) producing the entry handoffs and workers
+// re-running the epochs from them.
+func EmulateShardResume(dst, reqs []trace.Request, dev device.Device, idle []time.Duration, h Handoff) Handoff {
+	dev.(device.Stateful).Restore(h.State)
+	now := h.Now
+	for i, r := range reqs {
+		if idle != nil {
+			now += idle[i]
+		}
+		req := r
+		req.Arrival = now
+		res := dev.Submit(now, req)
+		req.Latency = res.Complete - now
+		req.Async = false // sync loop; post-processing restores mode
+		dst[i] = req
+		now = res.Complete
+	}
+	return Handoff{State: dev.(device.Stateful).Snapshot(), Now: now}
+}
+
+// ServiceShard is the lightweight serial pass of the pipelined
+// emulation: it advances dev through one epoch's servicing — the same
+// submissions, at the same absolute times, as EmulateShardResume —
+// without collecting the output trace, and reports the epoch's exit
+// time plus the post-processing arrival reduction it accumulates
+// (shiftDelta): for each async-flagged instruction, the emulated
+// latency beyond SubmissionGap, the rule core.PostProcessShard
+// applies. Knowing shiftDelta at handoff time is what lets the
+// parallel workers post-process and encode their epochs with final
+// absolute arrivals. dev's state must already be the epoch's entry
+// state (the servicer owns one continuously evolving device); async
+// may be nil when the caller skips post-processing.
+//
+// This loop and EmulateShardResume must stay in lockstep — any
+// divergence breaks the engine's byte-identity guarantee, which the
+// engine identity tests lock.
+func ServiceShard(reqs []trace.Request, dev device.Device, idle []time.Duration, async []bool, start time.Duration) (end time.Duration, shiftDelta time.Duration) {
+	now := start
+	for i, r := range reqs {
+		if idle != nil {
+			now += idle[i]
+		}
+		req := r
+		req.Arrival = now
+		res := dev.Submit(now, req)
+		if async != nil && async[i] {
+			if reduction := (res.Complete - now) - SubmissionGap; reduction > 0 {
+				shiftDelta += reduction
+			}
+		}
+		now = res.Complete
+	}
+	return now, shiftDelta
+}
+
 // Accelerate reproduces the Acceleration baseline: it divides every
 // inter-arrival time of old by factor, preserving order, sizes and
 // addresses. No device is involved; this is the purely static

@@ -1,0 +1,54 @@
+package trace
+
+// Text-format parse errors carry their line position as data, not just
+// prose: sequential decoders count lines over the whole input, while
+// parallel segment decoders count within their segment — so the
+// parallel merge shifts each surfaced error by the lines consumed
+// before its segment and the rendered message matches the sequential
+// decoder position-for-position (locked by TestParallelDecodeErrors).
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// lineError is a text parse error at a 1-based line position within
+// the decoder's scope. Error renders "trace: <kind> <pos><rest>".
+type lineError struct {
+	kind  string // "line", "msrc line" or "spc line"
+	pos   int
+	rest  string // rendered remainder, beginning with its separator
+	cause error  // wrapped cause, may be nil
+}
+
+func (e *lineError) Error() string {
+	return "trace: " + e.kind + " " + strconv.Itoa(e.pos) + e.rest
+}
+
+func (e *lineError) Unwrap() error { return e.cause }
+
+// lineErrf builds a lineError; format/args render the remainder after
+// the position, and cause stays unwrappable (errors.Is/As).
+func lineErrf(kind string, pos int, cause error, format string, args ...any) *lineError {
+	return &lineError{kind: kind, pos: pos, rest: fmt.Sprintf(format, args...), cause: cause}
+}
+
+// shiftLine returns err with its line position advanced by base input
+// lines; errors without a line position pass through unchanged.
+func shiftLine(err error, base int) error {
+	if base == 0 {
+		return err
+	}
+	var le *lineError
+	if errors.As(err, &le) {
+		shifted := *le
+		shifted.pos += base
+		return &shifted
+	}
+	return err
+}
+
+// lineCounter is implemented by the text decoders so the parallel
+// merge can account each drained segment's consumed lines.
+type lineCounter interface{ lines() int }

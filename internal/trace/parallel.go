@@ -62,11 +62,17 @@ const (
 // shutdown interrupted a block read; it never reaches consumers.
 var errParallelStopped = errors.New("trace: parallel decode stopped")
 
-// parBatch is one decoded batch (or a terminal parse error) in flight
-// from a worker to the merger.
+// parBatch is one message in flight from a worker to the merger: a
+// decoded batch (reqs non-nil), a terminal parse error, or — with both
+// nil — a line-count marker: the segment finished cleanly after
+// consuming that many input lines. The merger accumulates markers in
+// segment order into its line base, which is how a parse error in a
+// later segment reports the same absolute line number the sequential
+// decoder would.
 type parBatch struct {
-	reqs []Request
-	err  error
+	reqs  []Request
+	err   error
+	lines int
 }
 
 // parMerge is the consumer-side cursor both parallel decoders share:
@@ -150,7 +156,9 @@ func (m *parMerge) ReadBatch() ([]Request, error) {
 
 // pumpBatches decodes dec to exhaustion, streaming non-empty batches
 // (and the terminal parse error, if any) into ch, which it always
-// closes. It reports false when cut short by stop or by an error.
+// closes. Text decoders additionally get a final line-count marker so
+// the merger can keep absolute line positions. It reports false when
+// cut short by stop or by an error.
 func pumpBatches(dec Decoder, ch chan<- parBatch, free reqFreeList, stop <-chan struct{}) bool {
 	defer close(ch)
 	for {
@@ -166,6 +174,13 @@ func pumpBatches(dec Decoder, ch chan<- parBatch, free reqFreeList, stop <-chan 
 			free.put(buf)
 		}
 		if err == io.EOF {
+			if lc, ok := dec.(lineCounter); ok {
+				select {
+				case ch <- parBatch{lines: lc.lines()}:
+				case <-stop:
+					return false
+				}
+			}
 			return true
 		}
 		if err != nil {
@@ -207,9 +222,9 @@ func (f reqFreeList) put(b []Request) {
 // goroutines, one record-aligned segment at a time, merging batches
 // back in input order. It implements Decoder, BatchDecoder,
 // BatchReader and SizeHinter; output is identical to the sequential
-// decoder for every input (parse errors surface at the same record
-// position, though text error messages count lines within the failing
-// segment rather than the whole file).
+// decoder for every input, and parse errors surface at the same
+// record position with the same message — text line numbers included,
+// via the merger's per-segment line accounting.
 type ParallelDecoder struct {
 	parMerge
 
@@ -224,8 +239,11 @@ type ParallelDecoder struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	// seg is the merge cursor's next segment (single consumer).
-	seg int
+	// seg is the merge cursor's next segment, and lineBase the input
+	// lines consumed before it — prelude plus the drained segments'
+	// line-count markers (single consumer).
+	seg      int
+	lineBase int
 }
 
 // NewParallelDecoder plans and starts a parallel decode of
@@ -243,6 +261,7 @@ func NewParallelDecoder(ra io.ReaderAt, size int64, format string, workers int) 
 	if d.planErr != nil || len(d.plan.segs) == 0 {
 		return d
 	}
+	d.lineBase = d.plan.preludeLines
 	nseg := len(d.plan.segs)
 	// In-flight segments are bounded by tokens: a worker takes one per
 	// segment claim, the merger returns one per segment drained, so
@@ -300,7 +319,8 @@ func (d *ParallelDecoder) runSegment(i int) bool {
 
 // fetchBatch is the merge cursor's fetch: the next in-order batch
 // across the segment rings, releasing a claim token per drained
-// segment.
+// segment and folding line-count markers into the running base so
+// errors surface with absolute line positions.
 func (d *ParallelDecoder) fetchBatch() ([]Request, error) {
 	if d.planErr != nil {
 		return nil, d.planErr
@@ -316,7 +336,11 @@ func (d *ParallelDecoder) fetchBatch() ([]Request, error) {
 			continue
 		}
 		if b.err != nil {
-			return nil, b.err
+			return nil, shiftLine(b.err, d.lineBase)
+		}
+		if b.reqs == nil {
+			d.lineBase += b.lines
+			continue
 		}
 		return b.reqs, nil
 	}
@@ -395,9 +419,12 @@ type StreamParallelDecoder struct {
 	meta   Meta
 	hint   int
 
-	// curCh is the merge cursor's current sub-segment ring (single
+	// curCh is the merge cursor's current sub-segment ring, and
+	// lineBase the input lines consumed before it — the coordinator's
+	// prelude marker plus the drained sub-segments' markers (single
 	// consumer).
-	curCh chan parBatch
+	curCh    chan parBatch
+	lineBase int
 }
 
 // NewStreamParallelDecoder starts a parallel decode of r in the named
@@ -467,6 +494,24 @@ func (d *StreamParallelDecoder) emitError(err error) {
 	select {
 	case d.order <- ch:
 	case <-d.stop:
+	}
+}
+
+// emitLines threads a line-count marker into the ordered output — the
+// coordinator's accounting for prelude lines it consumed itself.
+// Returns false when the decoder is stopping.
+func (d *StreamParallelDecoder) emitLines(n int) bool {
+	if n == 0 {
+		return true
+	}
+	ch := make(chan parBatch, 1)
+	ch <- parBatch{lines: n}
+	close(ch)
+	select {
+	case d.order <- ch:
+		return true
+	case <-d.stop:
+		return false
 	}
 }
 
@@ -669,6 +714,12 @@ func (d *StreamParallelDecoder) coordinateText() {
 				carry = data
 				continue
 			}
+			// Prelude complete: account its lines (the first data line
+			// belongs to the dispatched region) before any sub-segment
+			// enters the order.
+			if !d.emitLines(pre.lineno - 1) {
+				return
+			}
 		}
 		recs := data
 		if !eof {
@@ -775,7 +826,9 @@ func (d *StreamParallelDecoder) coordinateBin() {
 }
 
 // fetchBatch is the merge cursor's fetch: the next in-order batch
-// across the coordinator-ordered sub-segment rings.
+// across the coordinator-ordered sub-segment rings, folding line-count
+// markers into the running base so errors surface with absolute line
+// positions.
 func (d *StreamParallelDecoder) fetchBatch() ([]Request, error) {
 	for {
 		if d.curCh == nil {
@@ -791,7 +844,11 @@ func (d *StreamParallelDecoder) fetchBatch() ([]Request, error) {
 			continue
 		}
 		if b.err != nil {
-			return nil, b.err
+			return nil, shiftLine(b.err, d.lineBase)
+		}
+		if b.reqs == nil {
+			d.lineBase += b.lines
+			continue
 		}
 		return b.reqs, nil
 	}

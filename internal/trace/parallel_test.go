@@ -11,8 +11,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // parVariant is one input fixture the identity tests decode both ways.
@@ -234,28 +236,43 @@ func TestParallelDecodeBatchPaths(t *testing.T) {
 
 // TestParallelDecodeErrors locks error behaviour: the parallel paths
 // must deliver exactly the records the sequential decoder delivers
-// before failing, then fail too.
+// before failing, then fail with exactly the sequential decoder's
+// error text — absolute line numbers included (the merger's
+// per-segment line accounting).
 func TestParallelDecodeErrors(t *testing.T) {
-	tr := benchTrace(12_000)
-	var csvBuf, binBuf bytes.Buffer
+	// Big enough that the file splitter plans several segments (256 KiB
+	// floor each): the corrupt lines land in later segments, so the
+	// absolute line numbers genuinely exercise the merger's per-segment
+	// accounting rather than a single segment-0 base.
+	tr := benchTrace(40_000)
+	var csvBuf, binBuf, msrcBuf, spcBuf bytes.Buffer
 	if err := WriteCSV(&csvBuf, tr); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteBinary(&binBuf, tr); err != nil {
 		t.Fatal(err)
 	}
+	if err := writeMSRCStyle(&msrcBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSPCStyle(&spcBuf, tr); err != nil {
+		t.Fatal(err)
+	}
 
+	// corrupt splices a bad line at frac of the way through a text
+	// fixture, with a comment run just before it so line numbers and
+	// record counts diverge.
+	corrupt := func(data string, frac float64, bad string) []byte {
+		lines := strings.SplitAfter(data, "\n")
+		mid := int(frac * float64(len(lines)))
+		return []byte(strings.Join(lines[:mid], "") + "# a comment\n\n" + bad + "\n" + strings.Join(lines[mid:], ""))
+	}
 	lateHeader := func() []byte {
 		lines := strings.SplitAfter(csvBuf.String(), "\n")
 		mid := len(lines) / 2
 		return []byte(strings.Join(lines[:mid], "") +
 			"# tracetracker name=late workload=x set=y tsdev_known=true\n" +
 			strings.Join(lines[mid:], ""))
-	}()
-	badRecord := func() []byte {
-		lines := strings.SplitAfter(csvBuf.String(), "\n")
-		mid := 2 * len(lines) / 3
-		return []byte(strings.Join(lines[:mid], "") + "not,a,record\n" + strings.Join(lines[mid:], ""))
 	}()
 	truncBin := binBuf.Bytes()[:binBuf.Len()-17]
 
@@ -265,9 +282,12 @@ func TestParallelDecodeErrors(t *testing.T) {
 		data   []byte
 	}{
 		{"csv/late-header", "csv", lateHeader},
-		{"csv/bad-record", "csv", badRecord},
+		{"csv/bad-record", "csv", corrupt(csvBuf.String(), 2.0/3, "not,a,record")},
+		{"csv/bad-field", "csv", corrupt(csvBuf.String(), 0.9, "12.5,0,xx,8,R,1.0,0")},
 		{"bin/truncated-counted", "bin", truncBin},
 		{"msrc/bad-first-line", "msrc", []byte("# c\nnot-an-msrc-line\n")},
+		{"msrc/bad-mid-line", "msrc", corrupt(msrcBuf.String(), 0.75, "128166372003061629,hm,zz,Read,2096128,512,80")},
+		{"spc/bad-mid-line", "spc", corrupt(spcBuf.String(), 0.4, "1,bad-lba,4096,R,1.5")},
 		{"bin/empty", "bin", nil},
 		{"bin/short-header", "bin", []byte("TTR1\x05")},
 	}
@@ -286,7 +306,10 @@ func TestParallelDecodeErrors(t *testing.T) {
 				defer pd.Close()
 				gotReqs, _, gotErr := collectSeq(pd)
 				if gotErr == nil {
-					t.Fatalf("parallel decode succeeded, want error like %q", wantErr)
+					t.Fatalf("parallel decode succeeded, want error %q", wantErr)
+				}
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("parallel error text diverges:\n got %q\nwant %q", gotErr, wantErr)
 				}
 				if len(gotReqs) != len(wantReqs) {
 					t.Fatalf("parallel delivered %d records before failing, sequential %d", len(gotReqs), len(wantReqs))
@@ -298,7 +321,10 @@ func TestParallelDecodeErrors(t *testing.T) {
 				defer sd.Close()
 				gotReqs, _, gotErr = collectSeq(sd)
 				if gotErr == nil {
-					t.Fatalf("stream parallel decode succeeded, want error like %q", wantErr)
+					t.Fatalf("stream parallel decode succeeded, want error %q", wantErr)
+				}
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("stream parallel error text diverges:\n got %q\nwant %q", gotErr, wantErr)
 				}
 				if len(gotReqs) != len(wantReqs) {
 					t.Fatalf("stream parallel delivered %d records before failing, sequential %d", len(gotReqs), len(wantReqs))
@@ -383,6 +409,65 @@ func TestParallelDecoderCloseEarly(t *testing.T) {
 		}
 	}
 	sd.Close()
+}
+
+// waitGoroutines retries until the runtime goroutine count returns to
+// the baseline, dumping stacks on timeout. Worker exits are observable
+// only after their final unwind, hence the retry loop.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAbandonedDecodeReleasesGoroutines is the leak regression for the
+// PR 4 known delta: a decode abandoned on an error path must release
+// every worker goroutine. Drain and Summarize close the decoder they
+// were draining when the decode fails (CloseDecoder), so repeated
+// failing decodes leave the goroutine count at its baseline.
+func TestAbandonedDecodeReleasesGoroutines(t *testing.T) {
+	tr := benchTrace(40_000)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a record past the first segment so decode workers are
+	// mid-flight when the merger surfaces the error.
+	lines := strings.SplitAfter(buf.String(), "\n")
+	mid := len(lines) / 2
+	data := []byte(strings.Join(lines[:mid], "") + "not,a,record\n" + strings.Join(lines[mid:], ""))
+
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		pd := NewParallelDecoder(bytes.NewReader(data), int64(len(data)), "csv", 4)
+		if _, err := Drain(pd); err == nil {
+			t.Fatal("Drain: want a decode error")
+		}
+		sd, err := NewStreamParallelDecoder(bytes.NewReader(data), "csv", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Summarize(sd); err == nil {
+			t.Fatal("Summarize: want a decode error")
+		}
+		// A reorder wrapper must forward Close to its parallel inner.
+		rd := NewReorderDecoder(NewParallelDecoder(bytes.NewReader(data), int64(len(data)), "csv", 4), 8)
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+		CloseDecoder(rd)
+	}
+	waitGoroutines(t, base)
 }
 
 // TestParallelDecodeAllocs bounds the per-record allocation cost of

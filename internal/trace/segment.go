@@ -56,6 +56,10 @@ type segmentPlan struct {
 	meta     Meta
 	segs     []segmentRange
 	sizeHint int
+	// preludeLines is the number of input lines before the data region
+	// of a text input — the line base of segment 0, so parse errors can
+	// report absolute line numbers.
+	preludeLines int
 }
 
 // newSegmentDecoder constructs the per-format decoder for one segment,
@@ -208,11 +212,11 @@ func splitSegments(ra io.ReaderAt, size int64, format string, workers int) (*seg
 // the metadata context and the start of the data region, then the data
 // region is cut at line boundaries.
 func splitText(ra io.ReaderAt, size int64, format string, workers int) (*segmentPlan, error) {
-	ctx, dataStart, err := scanPrelude(ra, size, format)
+	ctx, dataStart, preludeLines, err := scanPrelude(ra, size, format)
 	if err != nil {
 		return nil, err
 	}
-	plan := &segmentPlan{format: format, meta: ctx.meta}
+	plan := &segmentPlan{format: format, meta: ctx.meta, preludeLines: preludeLines}
 	dataLen := size - dataStart
 	n := targetSegmentCount(dataLen, workers)
 	if n == 0 {
@@ -325,25 +329,27 @@ func (p *preludeState) advance(data []byte, eof bool) ([]byte, error) {
 }
 
 // scanPrelude runs the prelude over an io.ReaderAt and returns the
-// final segment context plus the offset of the first data line.
-// dataStart == size means the input holds no data records.
-func scanPrelude(ra io.ReaderAt, size int64, format string) (segCtx, int64, error) {
+// final segment context, the offset of the first data line, and the
+// number of lines before it (segment 0's line base). dataStart == size
+// means the input holds no data records.
+func scanPrelude(ra io.ReaderAt, size int64, format string) (segCtx, int64, int, error) {
 	p := preludeState{format: format, ctx: segCtx{meta: initialMeta(format), sawData: true}}
 	ls := &raLineScanner{ra: ra, size: size}
 	for {
 		raw, start, err := ls.next()
 		if err == io.EOF {
-			return p.ctx, size, nil
+			return p.ctx, size, p.lineno, nil
 		}
 		if err != nil {
-			return p.ctx, 0, err
+			return p.ctx, 0, 0, err
 		}
 		isData, err := p.feed(raw)
 		if err != nil {
-			return p.ctx, 0, err
+			return p.ctx, 0, 0, err
 		}
 		if isData {
-			return p.ctx, start, nil
+			// The first data line belongs to segment 0 (feed counted it).
+			return p.ctx, start, p.lineno - 1, nil
 		}
 	}
 }

@@ -63,6 +63,19 @@ type Decoder interface {
 	Meta() Meta
 }
 
+// CloseDecoder stops a decoder's background workers, if it has any
+// (the parallel decoders, or wrappers like ReorderDecoder over them).
+// A decoder abandoned before EOF or a terminal decode error would
+// otherwise leak its worker goroutines, so every whole-stream consumer
+// in this package (Drain, Summarize) and in the engine closes the
+// decoder it was draining on its error paths. Safe on any decoder;
+// Close is idempotent and, after a terminal condition, a cheap join.
+func CloseDecoder(dec Decoder) {
+	if c, ok := dec.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // BatchDecoder is implemented by decoders that can fill a request
 // slice per call, amortizing the per-record interface dispatch that
 // dominates tight Next loops. Every decoder in this package
@@ -166,6 +179,23 @@ type Encoder interface {
 	Close() error
 }
 
+// ShardEncoder is implemented by encoders whose record rendering is a
+// pure function of the request — no cross-record state — so parallel
+// shard workers can render runs of records into private buffers
+// concurrently and an ordered merger can splice them into the output
+// verbatim. csv and bin qualify; blktrace (event sequence numbers) and
+// fio (inter-arrival waits, open/close bracketing) do not and take the
+// serial Write path.
+type ShardEncoder interface {
+	Encoder
+	// AppendRecord appends to dst exactly the bytes Write would emit
+	// for r. It must be safe for concurrent use.
+	AppendRecord(dst []byte, r Request) []byte
+	// WriteRaw splices pre-rendered record bytes into the stream, as
+	// if each rendered record had been passed to Write in order.
+	WriteRaw(p []byte) error
+}
+
 // SizeHinter is implemented by decoders that know how many requests
 // remain (the counted binary format); Drain uses it to preallocate.
 type SizeHinter interface {
@@ -178,7 +208,9 @@ type SizeHinter interface {
 // consumers in this package) read with.
 const drainChunk = 1024
 
-// Drain reads dec to exhaustion and materializes a whole Trace.
+// Drain reads dec to exhaustion and materializes a whole Trace. On a
+// decode error the decoder is closed (CloseDecoder) before returning,
+// so parallel decoders never leak workers through this path.
 func Drain(dec Decoder) (*Trace, error) {
 	t := &Trace{}
 	if h, ok := dec.(SizeHinter); ok {
@@ -198,6 +230,7 @@ func Drain(dec Decoder) (*Trace, error) {
 			return nil
 		})
 		if err != nil {
+			CloseDecoder(dec)
 			return nil, err
 		}
 		t.applyMeta(dec.Meta())
@@ -214,6 +247,7 @@ func Drain(dec Decoder) (*Trace, error) {
 			break
 		}
 		if err != nil {
+			CloseDecoder(dec)
 			return nil, err
 		}
 	}
@@ -392,7 +426,7 @@ func (d *CSVDecoder) Next() (Request, error) {
 				// that already acted on the old metadata — reject it
 				// rather than let streaming and whole-trace paths
 				// silently diverge.
-				return Request{}, fmt.Errorf("trace: line %d: metadata header after data rows", d.lineno)
+				return Request{}, lineErrf("line", d.lineno, nil, ": metadata header after data rows")
 			}
 			d.t.applyMeta(d.meta)
 			parseHeaderComment(&d.t, string(line))
@@ -405,11 +439,11 @@ func (d *CSVDecoder) Next() (Request, error) {
 		}
 		var f [8][]byte
 		if n := splitComma(f[:], line); n != 7 {
-			return Request{}, fmt.Errorf("trace: line %d: want 7 fields, got %d", d.lineno, n)
+			return Request{}, lineErrf("line", d.lineno, nil, ": want 7 fields, got %d", n)
 		}
 		req, err := parseNativeLine(f[:7])
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: line %d: %w", d.lineno, err)
+			return Request{}, lineErrf("line", d.lineno, err, ": %v", err)
 		}
 		d.sawData = true
 		return req, nil
@@ -418,6 +452,9 @@ func (d *CSVDecoder) Next() (Request, error) {
 
 // DecodeBatch implements BatchDecoder.
 func (d *CSVDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
+
+// lines implements lineCounter.
+func (d *CSVDecoder) lines() int { return d.lineno }
 
 // CSVEncoder streams the native CSV format.
 type CSVEncoder struct {
@@ -438,9 +475,9 @@ func (e *CSVEncoder) Begin(m Meta) error {
 	return err
 }
 
-// Write implements Encoder.
-func (e *CSVEncoder) Write(r Request) error {
-	b := e.buf[:0]
+// appendCSVRecord renders one native-CSV record line, the pure
+// function behind both Write and AppendRecord.
+func appendCSVRecord(b []byte, r Request) []byte {
 	b = strconv.AppendFloat(b, micros(r.Arrival), 'f', 3, 64)
 	b = append(b, ',')
 	b = strconv.AppendUint(b, uint64(r.Device), 10)
@@ -457,8 +494,23 @@ func (e *CSVEncoder) Write(r Request) error {
 	} else {
 		b = append(b, ",0\n"...)
 	}
+	return b
+}
+
+// Write implements Encoder.
+func (e *CSVEncoder) Write(r Request) error {
+	b := appendCSVRecord(e.buf[:0], r)
 	e.buf = b
 	_, err := e.bw.Write(b)
+	return err
+}
+
+// AppendRecord implements ShardEncoder.
+func (e *CSVEncoder) AppendRecord(dst []byte, r Request) []byte { return appendCSVRecord(dst, r) }
+
+// WriteRaw implements ShardEncoder.
+func (e *CSVEncoder) WriteRaw(p []byte) error {
+	_, err := e.bw.Write(p)
 	return err
 }
 
@@ -642,6 +694,31 @@ func (e *BinaryEncoder) Write(r Request) error {
 	return writeBinaryRecord(e.bw, &e.rec, r)
 }
 
+// AppendRecord implements ShardEncoder. The packing stores duplicate
+// writeBinaryRecord's rather than share a helper: an out-of-line pack
+// function makes the inliner spill the Request through the stack per
+// record, which costs the binary encoder ~40% of its throughput. The
+// golden and shard-splice identity tests lock the two bodies together.
+func (e *BinaryEncoder) AppendRecord(dst []byte, r Request) []byte {
+	var rec [binRecordLen]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
+	binary.LittleEndian.PutUint32(rec[8:], r.Device)
+	binary.LittleEndian.PutUint64(rec[12:], r.LBA)
+	binary.LittleEndian.PutUint32(rec[20:], r.Sectors)
+	rec[24] = byte(r.Op)
+	binary.LittleEndian.PutUint64(rec[25:], uint64(r.Latency))
+	if r.Async {
+		rec[33] = 1
+	}
+	return append(dst, rec[:]...)
+}
+
+// WriteRaw implements ShardEncoder.
+func (e *BinaryEncoder) WriteRaw(p []byte) error {
+	_, err := e.bw.Write(p)
+	return err
+}
+
 // Close implements Encoder.
 func (e *BinaryEncoder) Close() error { return e.bw.Flush() }
 
@@ -672,7 +749,8 @@ func writeBinaryHeader(bw *bufio.Writer, m Meta, count uint64) error {
 }
 
 // writeBinaryRecord emits one fixed-width request record into rec
-// (caller-owned scratch, so nothing escapes per record).
+// (caller-owned scratch, so nothing escapes per record). The stores
+// stay in this body — see AppendRecord for why they are not shared.
 func writeBinaryRecord(bw *bufio.Writer, rec *[binRecordLen]byte, r Request) error {
 	binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
 	binary.LittleEndian.PutUint32(rec[8:], r.Device)
@@ -728,11 +806,11 @@ func (d *MSRCDecoder) Next() (Request, error) {
 		}
 		var f [8][]byte
 		if n := splitComma(f[:], line); n != 7 {
-			return Request{}, fmt.Errorf("trace: msrc line %d: want 7 fields, got %d", d.lineno, n)
+			return Request{}, lineErrf("msrc line", d.lineno, nil, ": want 7 fields, got %d", n)
 		}
 		ts, err := parseIntBytes(f[0], 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d timestamp: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, " timestamp: %v", err)
 		}
 		if d.first {
 			d.base = ts
@@ -742,23 +820,23 @@ func (d *MSRCDecoder) Next() (Request, error) {
 		}
 		disk, err := parseUintBytes(f[2], 32)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d disk: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, " disk: %v", err)
 		}
 		op, err := parseOpBytes(f[3])
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, ": %v", err)
 		}
 		off, err := parseUintBytes(f[4], 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d offset: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, " offset: %v", err)
 		}
 		size, err := parseUintBytes(f[5], 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d size: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, " size: %v", err)
 		}
 		resp, err := parseIntBytes(f[6], 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: msrc line %d response: %w", d.lineno, err)
+			return Request{}, lineErrf("msrc line", d.lineno, err, " response: %v", err)
 		}
 		sectors := uint32((size + SectorSize - 1) / SectorSize)
 		if sectors == 0 {
@@ -777,6 +855,9 @@ func (d *MSRCDecoder) Next() (Request, error) {
 
 // DecodeBatch implements BatchDecoder.
 func (d *MSRCDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
+
+// lines implements lineCounter.
+func (d *MSRCDecoder) lines() int { return d.lineno }
 
 // --- SPC-1 ASCII ---
 
@@ -811,27 +892,27 @@ func (d *SPCDecoder) Next() (Request, error) {
 		}
 		var f [8][]byte
 		if n := splitComma(f[:], line); n < 5 {
-			return Request{}, fmt.Errorf("trace: spc line %d: want 5 fields, got %d", d.lineno, n)
+			return Request{}, lineErrf("spc line", d.lineno, nil, ": want 5 fields, got %d", n)
 		}
 		asu, err := parseUintBytes(bytes.TrimSpace(f[0]), 32)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: spc line %d asu: %w", d.lineno, err)
+			return Request{}, lineErrf("spc line", d.lineno, err, " asu: %v", err)
 		}
 		lba, err := parseUintBytes(bytes.TrimSpace(f[1]), 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: spc line %d lba: %w", d.lineno, err)
+			return Request{}, lineErrf("spc line", d.lineno, err, " lba: %v", err)
 		}
 		size, err := parseUintBytes(bytes.TrimSpace(f[2]), 64)
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: spc line %d size: %w", d.lineno, err)
+			return Request{}, lineErrf("spc line", d.lineno, err, " size: %v", err)
 		}
 		op, err := parseOpBytes(bytes.TrimSpace(f[3]))
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: spc line %d: %w", d.lineno, err)
+			return Request{}, lineErrf("spc line", d.lineno, err, ": %v", err)
 		}
 		sec, err := parseFloatBytes(bytes.TrimSpace(f[4]))
 		if err != nil {
-			return Request{}, fmt.Errorf("trace: spc line %d timestamp: %w", d.lineno, err)
+			return Request{}, lineErrf("spc line", d.lineno, err, " timestamp: %v", err)
 		}
 		sectors := uint32((size + SectorSize - 1) / SectorSize)
 		if sectors == 0 {
@@ -849,6 +930,9 @@ func (d *SPCDecoder) Next() (Request, error) {
 
 // DecodeBatch implements BatchDecoder.
 func (d *SPCDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
+
+// lines implements lineCounter.
+func (d *SPCDecoder) lines() int { return d.lineno }
 
 // --- blktrace text (encoder) ---
 
@@ -1004,20 +1088,31 @@ const reorderBatch = 256
 // long as no request is displaced by more than window positions from
 // its sorted slot, the output order equals the stable arrival sort the
 // whole-trace readers produce — with O(window) memory instead of the
-// whole trace. The heap never holds more than window+1 requests: the
-// refill reads exactly the deficit, so the declared window is a hard
-// buffering and read-ahead bound, not a hint batching may overshoot.
-// (The steady-state refill is therefore one record per emit — the
-// price of the hard bound, since popping safely requires window+1
-// buffered first; batch consumers still amortize through
-// DecodeBatch.) Event-traced corpora (MSRC) are near-sorted, so a
-// small window suffices.
+// whole trace. The heap never holds more than window+1 requests — the
+// declared window is a hard buffering and read-ahead bound, not a hint
+// batching may overshoot: whenever a DecodeBatch or Next call returns,
+// the decoder has read at most window+1 records past what it has
+// emitted. (Mid-call, a batched refill may transiently stage up to
+// another window+1 records in its read scratch before draining them
+// into the same call's output.)
+//
+// Refills are still batched. Emitting safely needs window+1 buffered
+// candidates, so the steady state interleaves one read with one emit —
+// but DecodeBatch reads each run of records from the inner decoder in
+// a single batched call (up to the window deficit, capped at
+// reorderBatch) and then drains it through the heap in push/pop
+// lockstep, so the per-record inner cost is a devirtualized batch
+// slot, not a full Next dispatch. Records decoded before a mid-stream
+// inner error are emitted before the error surfaces, matching the
+// sequential and parallel decoders' delivery contract. Event-traced
+// corpora (MSRC) are near-sorted, so a small window suffices.
 type ReorderDecoder struct {
 	inner  Decoder
 	window int
 	h      reorderHeap
 	seq    uint64
 	done   bool
+	primed bool // heap has reached window+1 once; steady state holds window
 	err    error
 	batch  []Request
 }
@@ -1034,44 +1129,93 @@ func NewReorderDecoder(dec Decoder, window int) *ReorderDecoder {
 // Meta implements Decoder.
 func (d *ReorderDecoder) Meta() Meta { return d.inner.Meta() }
 
-// Next implements Decoder.
-func (d *ReorderDecoder) Next() (Request, error) {
-	if d.err != nil {
-		return Request{}, d.err
+// Close stops the inner decoder's background workers, if it has any;
+// see CloseDecoder.
+func (d *ReorderDecoder) Close() { CloseDecoder(d.inner) }
+
+// fill reads up to want records from the inner decoder in one batched
+// call and pushes them onto the heap, latching EOF/errors.
+func (d *ReorderDecoder) fill(want int) {
+	if d.batch == nil {
+		d.batch = make([]Request, reorderBatch)
 	}
-	// Hold window+1 items before emitting: popping the min of w+1
-	// buffered requests is what guarantees displacements up to w. Read
-	// only the deficit so the heap never grows past window+1 — the
-	// declared window is a hard buffering bound, not a hint.
-	for !d.done && len(d.h) <= d.window {
-		if d.batch == nil {
-			d.batch = make([]Request, reorderBatch)
-		}
-		want := d.window + 1 - len(d.h)
-		if want > len(d.batch) {
-			want = len(d.batch)
-		}
-		n, err := DecodeBatch(d.inner, d.batch[:want])
-		for _, r := range d.batch[:n] {
-			heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
-			d.seq++
-		}
-		if err == io.EOF {
-			d.done = true
-			break
-		}
-		if err != nil {
-			d.err = err
-			return Request{}, err
-		}
+	if want > len(d.batch) {
+		want = len(d.batch)
 	}
-	if len(d.h) == 0 {
-		d.err = io.EOF
-		return Request{}, io.EOF
+	n, err := DecodeBatch(d.inner, d.batch[:want])
+	for _, r := range d.batch[:n] {
+		heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
+		d.seq++
 	}
-	it := heap.Pop(&d.h).(reorderItem)
-	return it.req, nil
+	if err == io.EOF {
+		d.done = true
+	} else if err != nil {
+		d.err = err
+	}
 }
 
-// DecodeBatch implements BatchDecoder.
-func (d *ReorderDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
+// Next implements Decoder.
+func (d *ReorderDecoder) Next() (Request, error) {
+	var one [1]Request
+	if n, err := d.DecodeBatch(one[:]); n == 0 {
+		return Request{}, err
+	}
+	return one[0], nil
+}
+
+// DecodeBatch implements BatchDecoder, with the interface's contract:
+// (n, err) delivers the records still buffered ahead of the terminal
+// condition together with it, and a full dst implies a nil error with
+// the terminal surfacing on a later call.
+func (d *ReorderDecoder) DecodeBatch(dst []Request) (int, error) {
+	n := 0
+	for n < len(dst) {
+		switch {
+		case !d.done && d.err == nil && !d.primed:
+			// Initial fill to window+1 candidates, batched.
+			d.fill(d.window + 1 - len(d.h))
+			if len(d.h) > d.window {
+				d.primed = true
+			}
+		case len(d.h) == 0:
+			// Terminal: the latched error (or EOF) surfaces together
+			// with any records emitted this call, the DecodeBatch
+			// contract.
+			if d.err == nil {
+				d.err = io.EOF
+			}
+			return n, d.err
+		case d.done || d.err != nil || len(d.h) > d.window:
+			// Drain (stream over), or the first pop after priming.
+			dst[n] = heap.Pop(&d.h).(reorderItem).req
+			n++
+		default:
+			// Steady state: the heap holds exactly window requests. Read
+			// the next run in one batched call, then emit in push/pop
+			// lockstep — the heap peaks at window+1, never beyond.
+			want := len(dst) - n
+			if want > d.window+1 {
+				want = d.window + 1
+			}
+			if want > reorderBatch {
+				want = reorderBatch
+			}
+			if d.batch == nil {
+				d.batch = make([]Request, reorderBatch)
+			}
+			k, err := DecodeBatch(d.inner, d.batch[:want])
+			for _, r := range d.batch[:k] {
+				heap.Push(&d.h, reorderItem{req: r, seq: d.seq})
+				d.seq++
+				dst[n] = heap.Pop(&d.h).(reorderItem).req
+				n++
+			}
+			if err == io.EOF {
+				d.done = true
+			} else if err != nil {
+				d.err = err
+			}
+		}
+	}
+	return n, nil
+}

@@ -290,6 +290,98 @@ func (c *countingDecoder) Next() (Request, error) {
 
 func (c *countingDecoder) Meta() Meta { return c.inner.Meta() }
 
+// batchSizeRecorder wraps a BatchDecoder recording how many records
+// each inner batch call delivered, and the running total.
+type batchSizeRecorder struct {
+	inner BatchDecoder
+	n     int
+	sizes []int
+}
+
+func (c *batchSizeRecorder) Next() (Request, error) {
+	r, err := c.inner.Next()
+	if err == nil {
+		c.n++
+		c.sizes = append(c.sizes, 1)
+	}
+	return r, err
+}
+
+func (c *batchSizeRecorder) DecodeBatch(dst []Request) (int, error) {
+	n, err := c.inner.DecodeBatch(dst)
+	if n > 0 {
+		c.n += n
+		c.sizes = append(c.sizes, n)
+	}
+	return n, err
+}
+
+func (c *batchSizeRecorder) Meta() Meta { return c.inner.Meta() }
+
+// TestReorderDecoderBatchedRefill is the regression test for the PR 4
+// known delta (steady-state refill dropped to one record per emit):
+// the batch path must refill from the inner decoder in multi-record
+// reads while the hard window+1 read-ahead bound still holds at every
+// point the consumer can observe, and the output must stay the stable
+// arrival sort.
+func TestReorderDecoderBatchedRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 4_000
+	const window = 16
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Arrival: time.Duration(i) * time.Millisecond,
+			LBA:     uint64(i * 8),
+			Sectors: 8,
+			Op:      Read,
+		}
+	}
+	shuffled := append([]Request(nil), reqs...)
+	for i := 0; i+window < len(shuffled); i += window {
+		rng.Shuffle(window, func(a, b int) {
+			shuffled[i+a], shuffled[i+b] = shuffled[i+b], shuffled[i+a]
+		})
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(NewBinaryEncoder(&buf), &Trace{Requests: shuffled}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &batchSizeRecorder{inner: NewBinaryDecoder(bytes.NewReader(buf.Bytes()))}
+	dec := NewReorderDecoder(rec, window)
+	var got []Request
+	tmp := make([]Request, 64)
+	for {
+		k, err := dec.DecodeBatch(tmp)
+		got = append(got, tmp[:k]...)
+		// The hard bound, observed at every consumer-visible point: the
+		// decoder has read at most window+1 records past its output.
+		if ahead := rec.n - len(got); ahead > window+1 {
+			t.Fatalf("reorder decoder read %d records past its output; window is %d", ahead, window)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatal("batched reorder output is not the stable arrival sort")
+	}
+	max := 0
+	for _, s := range rec.sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if max <= 1 {
+		t.Fatalf("refill never batched: max inner read %d records (%d calls for %d records)",
+			max, len(rec.sizes), rec.n)
+	}
+}
+
 // TestReorderDecoderWindowBound is the regression test for the PR 3
 // caveat: a ReorderDecoder must never read more than window+1 records
 // past what it has emitted — the declared window is a hard buffering

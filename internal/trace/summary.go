@@ -124,7 +124,9 @@ func (a *Summarizer) Summary(m Meta) Summary {
 // through the batched decode path — or straight out of a parallel
 // decoder's internal batches — so the per-record cost is the Add
 // fold, not interface dispatch — this is what tracestat -stream and
-// corpus ingest run over whole corpora.
+// corpus ingest run over whole corpora. On a decode error the decoder
+// is closed (CloseDecoder), so abandoned parallel decodes never leak
+// workers.
 func Summarize(dec Decoder) (Summary, error) {
 	acc := NewSummarizer()
 	err := ForEachBatch(dec, func(batch []Request) error {
@@ -134,6 +136,7 @@ func Summarize(dec Decoder) (Summary, error) {
 		return nil
 	})
 	if err != nil {
+		CloseDecoder(dec)
 		return Summary{}, err
 	}
 	return acc.Summary(dec.Meta()), nil
