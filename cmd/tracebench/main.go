@@ -13,6 +13,8 @@
 //	tracebench -quick -baseline BENCH_baseline.json        # run + gate
 //	tracebench -compare BENCH_baseline.json BENCH_new.json # gate two files
 //	tracebench -quick -daemon http://localhost:8080        # + daemon round trip
+//	tracebench -quick -stages                              # + engine stage breakdown
+//	tracebench -quick -repeat 5                            # median of 5 runs
 //
 // The gate fails (exit 1) on a >15% req/s drop or any allocs/request
 // increase beyond counter noise in a scenario both reports share; it
@@ -56,6 +58,10 @@ func run(args []string, stdout io.Writer) error {
 	compare := fs.Bool("compare", false, "compare two existing reports: -compare BASE CURRENT (no run)")
 	daemon := fs.String("daemon", "", "also time a job round trip against a running tracetrackerd URL")
 	tolDrop := fs.Float64("tolerance", 0.15, "allowed fractional req/s drop before the gate fails")
+	stages := fs.Bool("stages", false,
+		"record each engine scenario's per-stage wall-time breakdown (plan/decompose/service/emulate/merge) in the report")
+	repeat := fs.Int("repeat", 1,
+		"run the whole suite N times and report each scenario's median run by req/s (noise suppression)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 	opts := bench.Options{
 		Quick:    *quick,
 		Revision: *rev,
+		Stages:   *stages,
 		Log:      func(line string) { fmt.Fprintln(stdout, line) },
 	}
 	if opts.Revision == "" {
@@ -94,9 +101,23 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-workers: %w", err)
 	}
 
-	rep, err := bench.Run(opts)
-	if err != nil {
-		return err
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat: must be >= 1, got %d", *repeat)
+	}
+	runs := make([]*bench.Report, 0, *repeat)
+	for i := 0; i < *repeat; i++ {
+		if *repeat > 1 {
+			fmt.Fprintf(stdout, "--- run %d/%d ---\n", i+1, *repeat)
+		}
+		r, err := bench.Run(opts)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+	}
+	rep := bench.MedianReport(runs)
+	if *repeat > 1 {
+		fmt.Fprintf(stdout, "median of %d runs per scenario (by req/s)\n", *repeat)
 	}
 	if *daemon != "" {
 		res, err := daemonRoundTrip(*daemon, *quick)

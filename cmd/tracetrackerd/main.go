@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,7 +58,17 @@ func main() {
 		"corpus data directory: enables /corpus uploads, corpus:<digest> job inputs, result caching, and crash recovery via the job journal")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown deadline for running jobs on SIGINT/SIGTERM")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text, json")
+	pprofOn := flag.Bool("pprof", false,
+		"serve net/http/pprof under /debug/pprof/ (off by default: profiles expose internals)")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+		os.Exit(1)
+	}
 
 	base := engine.Config{
 		Workers:          *parallel,
@@ -66,13 +77,16 @@ func main() {
 	}
 	srv := newServer(base, *jobs, *retain)
 	srv.ingestParallel = *parallel
+	srv.setLogger(log)
+	if *pprofOn {
+		srv.enablePprof()
+	}
 	if *dataDir != "" {
 		if err := srv.openData(*dataDir); err != nil {
-			fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+			log.Error("data directory failed to open", "dir", *dataDir, "error", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "tracetrackerd: corpus store at %s (%d traces)\n",
-			*dataDir, srv.store.Len())
+		log.Info("corpus store attached", "dir", *dataDir, "traces", srv.store.Len())
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
@@ -82,17 +96,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "tracetrackerd: listening on %s (%d executors x %d workers)\n",
-		*addr, *jobs, *parallel)
+	log.Info("listening", "addr", *addr, "executors", *jobs, "workers", *parallel,
+		"revision", srv.revision, "pprof", *pprofOn)
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+		log.Error("server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills immediately
 
-	fmt.Fprintf(os.Stderr, "tracetrackerd: shutting down, draining jobs (deadline %v)\n", *drain)
+	log.Info("shutting down, draining jobs", "deadline", *drain)
 	// One deadline covers both phases: in-flight HTTP responses and
 	// running executors share -drain rather than each getting it.
 	deadline := time.Now().Add(*drain)
@@ -104,6 +118,6 @@ func main() {
 		remain = time.Millisecond
 	}
 	if !srv.CloseGrace(remain) {
-		fmt.Fprintln(os.Stderr, "tracetrackerd: drain deadline hit; interrupted jobs will re-run on next start")
+		log.Warn("drain deadline hit; interrupted jobs will re-run on next start")
 	}
 }

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +18,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -98,6 +102,8 @@ func newJobReport(r *engine.Report) *jobReport {
 //	GET  /corpus/{digest}       entry metadata (unique prefix ok)
 //	GET  /corpus/{digest}/data  the trace bytes
 //	GET  /healthz               liveness + queue depth + cache counters
+//	GET  /metrics               Prometheus text-format metrics
+//	GET  /debug/pprof/...       profiling endpoints (opt-in via -pprof)
 //
 // Retention bounds: a long-running daemon must not accumulate every
 // result it ever produced.
@@ -120,18 +126,37 @@ type server struct {
 	// ingest uses the double-buffered parallel decoder).
 	ingestParallel int
 
+	// Observability: every handler runs behind the request-ID/metrics
+	// middleware (handler), the engine and corpus hooks feed reg, and
+	// /metrics serves it. log is swapped in by setLogger before serving
+	// (NopLogger until then, so embedded/test servers stay silent).
+	reg      *obs.Registry
+	em       *obs.EngineMetrics
+	hm       *obs.HTTPMetrics
+	log      *slog.Logger
+	handler  http.Handler
+	started  time.Time
+	revision string
+
+	// Job outcome counters; /healthz reads these, so its executed and
+	// cache_hits fields are views of the same registry series.
+	jobsExecuted *obs.Counter
+	jobsCached   *obs.Counter
+	jobsFailed   *obs.Counter
+	// Journal replay counters (set during openData).
+	replayedJobs *obs.Counter
+	requeuedJobs *obs.Counter
+
 	// store and jnl are attached by openData before serving (nil when
 	// the daemon runs without -data); immutable afterwards.
 	store *corpus.Store
 	jnl   *journal
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string
-	nextID    int
-	closed    bool
-	executed  int64
-	cacheHits int64
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -161,7 +186,30 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 		queue:         make(chan *job, 1024),
 		stopRequeue:   make(chan struct{}),
 		requeueDone:   requeueDone,
+		started:       time.Now(),
+		revision:      buildRevision(),
 	}
+	s.reg = obs.NewRegistry()
+	s.em = obs.NewEngineMetrics(s.reg)
+	s.base.Metrics = s.em // every job engine derives from base and shares the hook
+	s.hm = obs.NewHTTPMetrics(s.reg, "daemon")
+	s.jobsExecuted = s.reg.Counter("daemon_jobs_total",
+		"Finished jobs by outcome.", obs.Labels{"outcome": "executed"})
+	s.jobsCached = s.reg.Counter("daemon_jobs_total",
+		"Finished jobs by outcome.", obs.Labels{"outcome": "cached"})
+	s.jobsFailed = s.reg.Counter("daemon_jobs_total",
+		"Finished jobs by outcome.", obs.Labels{"outcome": "failed"})
+	s.replayedJobs = s.reg.Counter("daemon_journal_replayed_jobs_total",
+		"Jobs restored from the journal at startup.", nil)
+	s.requeuedJobs = s.reg.Counter("daemon_journal_requeued_jobs_total",
+		"Interrupted jobs re-queued from the journal at startup.", nil)
+	s.reg.GaugeFunc("daemon_queue_depth", "Jobs waiting in the executor queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("daemon_jobs_running", "Jobs currently executing.", nil,
+		func() float64 { _, running := s.countStates(); return float64(running) })
+	s.reg.GaugeFunc("daemon_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.setLogger(obs.NopLogger())
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
@@ -172,11 +220,60 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 	s.mux.HandleFunc("GET /corpus/{digest}", s.handleCorpusInfo)
 	s.mux.HandleFunc("GET /corpus/{digest}/data", s.handleCorpusData)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	for i := 0; i < concurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// setLogger attaches the daemon logger and rebuilds the middleware
+// chain around it. Call before serving traffic.
+func (s *server) setLogger(log *slog.Logger) {
+	s.log = log
+	s.handler = obs.Middleware(log, s.hm, s.mux)
+}
+
+// enablePprof mounts the net/http/pprof handlers (opt-in via -pprof:
+// profiles expose internals, so they are off by default). They sit
+// behind the same middleware as the API, so scrapes are logged and
+// counted under route="/debug/pprof/".
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// countStates scans job states under the lock (queued, running).
+func (s *server) countStates() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch j.State {
+		case stateQueued:
+			queued++
+		case stateRunning:
+			running++
+		}
+	}
+	return queued, running
+}
+
+// buildRevision is the VCS revision stamped into the binary ("dev"
+// outside a git build) — surfaced in /healthz so an operator can tell
+// which build answered.
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+				return s.Value[:7]
+			}
+		}
+	}
+	return "dev"
 }
 
 // openData attaches the corpus store, result cache and job journal
@@ -189,6 +286,9 @@ func (s *server) openData(dir string) error {
 		return err
 	}
 	store.SetParallel(s.ingestParallel)
+	store.SetMetrics(obs.NewCorpusMetrics(s.reg))
+	s.reg.GaugeFunc("corpus_traces", "Traces in the corpus catalogue.", nil,
+		func() float64 { return float64(store.Len()) })
 	jnl, recs, err := openJournal(filepath.Join(dir, "journal.jsonl"))
 	if err != nil {
 		return err
@@ -268,7 +368,13 @@ func (s *server) replay(recs []journalRecord) {
 			requeue = append(requeue, j)
 		}
 	}
+	restored := len(s.order)
 	s.mu.Unlock()
+	s.replayedJobs.Add(int64(restored))
+	s.requeuedJobs.Add(int64(len(requeue)))
+	if restored > 0 {
+		s.log.Info("journal replayed", "jobs", restored, "requeued", len(requeue))
+	}
 	if len(requeue) == 0 {
 		return
 	}
@@ -291,9 +397,10 @@ func (s *server) replay(recs []journalRecord) {
 	}()
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: every request passes through the
+// request-ID / logging / metrics middleware before the route mux.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Close stops accepting submissions and waits for the executors to
@@ -397,6 +504,7 @@ func (s *server) worker() {
 		j.State = stateRunning
 		j.Started = &now
 		s.mu.Unlock()
+		s.log.Info("job started", "job", j.ID, "name", j.Name, "method", j.Spec.Method)
 
 		var res *engine.JobResult
 		var err error
@@ -422,15 +530,16 @@ func (s *server) worker() {
 		s.mu.Lock()
 		j.Finished = &fin
 		if err != nil {
+			s.jobsFailed.Inc()
 			j.State = stateFailed
 			j.Error = err.Error()
 			rec.Op = journalFail
 			rec.Error = j.Error
 		} else {
 			if hit {
-				s.cacheHits++
+				s.jobsCached.Inc()
 			} else {
-				s.executed++
+				s.jobsExecuted.Inc()
 			}
 			j.State = stateDone
 			j.Cached = hit
@@ -444,6 +553,11 @@ func (s *server) worker() {
 		}
 		s.prune()
 		s.mu.Unlock()
+		if err != nil {
+			s.log.Warn("job failed", "job", j.ID, "error", err, "duration", fin.Sub(now))
+		} else {
+			s.log.Info("job finished", "job", j.ID, "cached", hit, "duration", fin.Sub(now))
+		}
 		if s.jnl != nil {
 			s.jnl.append(rec)
 		}
@@ -736,25 +850,18 @@ func (s *server) handleCorpusData(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	queued, running := 0, 0
-	for _, j := range s.jobs {
-		switch j.State {
-		case stateQueued:
-			queued++
-		case stateRunning:
-			running++
-		}
-	}
 	total := len(s.jobs)
-	executed, hits := s.executed, s.cacheHits
 	s.mu.Unlock()
+	queued, running := s.countStates()
 	health := map[string]any{
-		"ok":         true,
-		"jobs":       total,
-		"queued":     queued,
-		"running":    running,
-		"executed":   executed,
-		"cache_hits": hits,
+		"ok":             true,
+		"jobs":           total,
+		"queued":         queued,
+		"running":        running,
+		"executed":       s.jobsExecuted.Value(),
+		"cache_hits":     s.jobsCached.Value(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"revision":       s.revision,
 	}
 	if s.store != nil {
 		health["corpus"] = s.store.Len()

@@ -16,18 +16,27 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump on any
 // field change and teach ReadFile about the old versions explicitly.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial layout.
+//	2 — adds Report.Repeat (median-of-N runs) and the optional
+//	    per-scenario Result.Stages engine breakdown. Both are
+//	    additive, so v1 documents still parse; ReadFile accepts both.
+const SchemaVersion = 2
 
 // Report is the root of a BENCH_*.json document.
 type Report struct {
@@ -41,8 +50,12 @@ type Report struct {
 	Timestamp     time.Time `json:"timestamp"`
 	// PeakRSSBytes is the process's peak resident set after the run
 	// (Linux VmHWM; 0 where unavailable).
-	PeakRSSBytes int64    `json:"peak_rss_bytes,omitempty"`
-	Results      []Result `json:"results"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// Repeat records how many full suite runs this report condenses:
+	// 0 or 1 for a single run, N > 1 when MedianReport picked each
+	// scenario's median-throughput run out of N (tracebench -repeat).
+	Repeat  int      `json:"repeat,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // Result is one timed scenario.
@@ -67,6 +80,11 @@ type Result struct {
 	// allocation costs.
 	AllocsPerReq     float64 `json:"allocs_per_req"`
 	AllocBytesPerReq float64 `json:"alloc_bytes_per_req"`
+	// Stages is the per-op engine stage wall-time breakdown in seconds
+	// (keys: obs.StageNames plus "token_wait"), present only for engine
+	// scenarios run with Options.Stages. Stage seconds sum past NsPerOp
+	// on multi-worker runs because stages overlap across goroutines.
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // Options configures a Run.
@@ -79,6 +97,12 @@ type Options struct {
 	Workers []int
 	// Quick trims sizes for the CI gate.
 	Quick bool
+	// Stages attaches a metrics hook to the engine scenarios and
+	// records each one's per-stage wall-time breakdown (Result.Stages).
+	// The hook's counters are lock-free atomics, so the perturbation is
+	// small, but gate runs should leave this off to time the exact
+	// production configuration (a nil hook).
+	Stages bool
 	// Revision labels the report (e.g. a git commit).
 	Revision string
 	// Log, when non-nil, receives one line per finished scenario.
@@ -158,6 +182,44 @@ func measure(name string, reqs int64, inBytes int64, workers int, fn func(b *tes
 	return res
 }
 
+// measureStaged is measure plus a per-op engine stage breakdown read
+// from em. The hook accumulates across every calibration round
+// testing.Benchmark runs (and across scenarios sharing an engine), so
+// the breakdown is the counter delta over this scenario divided by the
+// total iterations observed. A nil em degrades to plain measure.
+func measureStaged(em *obs.EngineMetrics, name string, reqs, inBytes int64, workers int, fn func(b *testing.B)) Result {
+	if em == nil {
+		return measure(name, reqs, inBytes, workers, fn)
+	}
+	before := em.StageSeconds()
+	var iters int64
+	res := measure(name, reqs, inBytes, workers, func(b *testing.B) {
+		fn(b)
+		iters += int64(b.N)
+	})
+	if iters > 0 {
+		after := em.StageSeconds()
+		res.Stages = make(map[string]float64, len(after))
+		for k, v := range after {
+			res.Stages[k] = (v - before[k]) / float64(iters)
+		}
+	}
+	return res
+}
+
+// stageLine renders a Stages map in canonical stage order for the
+// per-scenario log.
+func stageLine(stages map[string]float64) string {
+	var sb strings.Builder
+	sb.WriteString("    stages/op:")
+	for _, name := range append(obs.StageNames[:], "token_wait") {
+		if v, ok := stages[name]; ok {
+			fmt.Fprintf(&sb, " %s %.1fms", name, v*1e3)
+		}
+	}
+	return sb.String()
+}
+
 // Run executes the suite and assembles the report.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
@@ -180,6 +242,9 @@ func Run(opts Options) (*Report, error) {
 		rep.Results = append(rep.Results, r)
 		logf("%-44s %10.0f req/s  %8.1f MB/s  %7.4f allocs/req",
 			r.Name, r.ReqPerSec, r.MBPerSec, r.AllocsPerReq)
+		if len(r.Stages) > 0 {
+			logf("%s", stageLine(r.Stages))
+		}
 	}
 
 	workers := dedupWorkers(opts.Workers)
@@ -277,8 +342,14 @@ func Run(opts Options) (*Report, error) {
 		add(measure(fmt.Sprintf("encode/bin/size=%s", sz), reqs, int64(len(binData)), 0, encode("bin")))
 
 		for _, w := range workers {
-			eng := engine.New(engine.Config{Workers: w})
-			add(measure(fmt.Sprintf("reconstruct/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+			// One hook per engine: measureStaged snapshots counter deltas,
+			// so scenarios sharing the engine stay separable.
+			var em *obs.EngineMetrics
+			if opts.Stages {
+				em = obs.NewEngineMetrics(obs.NewRegistry())
+			}
+			eng := engine.New(engine.Config{Workers: w, Metrics: em})
+			add(measureStaged(em, fmt.Sprintf("reconstruct/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
 				func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
@@ -328,8 +399,8 @@ func Run(opts Options) (*Report, error) {
 					}
 				}
 			}
-			add(measure(fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, e2e("bin", binData)))
-			add(measure(fmt.Sprintf("e2e/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, e2e("csv", csvData)))
+			add(measureStaged(em, fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, e2e("bin", binData)))
+			add(measureStaged(em, fmt.Sprintf("e2e/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, e2e("csv", csvData)))
 
 			// HDD target: the epoch-pipelined snapshot/handoff path (the
 			// constrained device the paper's co-evaluation measures).
@@ -337,11 +408,16 @@ func Run(opts Options) (*Report, error) {
 			// the old serial fallback; reconstruct-hdd times the
 			// in-memory engine, e2e-hdd the streaming decode → pipeline
 			// → parallel csv render chain.
+			var hddEM *obs.EngineMetrics
+			if opts.Stages {
+				hddEM = obs.NewEngineMetrics(obs.NewRegistry())
+			}
 			hddEng := engine.New(engine.Config{
 				Workers: w,
 				Device:  func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) },
+				Metrics: hddEM,
 			})
-			add(measure(fmt.Sprintf("reconstruct-hdd/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+			add(measureStaged(hddEM, fmt.Sprintf("reconstruct-hdd/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
 				func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
@@ -354,7 +430,7 @@ func Run(opts Options) (*Report, error) {
 						}
 					}
 				}))
-			add(measure(fmt.Sprintf("e2e-hdd/csv/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+			add(measureStaged(hddEM, fmt.Sprintf("e2e-hdd/csv/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
 				func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
@@ -372,6 +448,41 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep.PeakRSSBytes = readPeakRSS()
 	return rep, nil
+}
+
+// MedianReport condenses repeated runs of the same suite into one
+// report: for each scenario (matched by name, ordered as in the first
+// run) it keeps the run with the median req/s — a real measured run,
+// so NsPerOp, allocs and Stages stay mutually consistent, unlike a
+// per-field average. With an even number of runs the lower middle
+// wins, biasing the gate very slightly conservative. The header comes
+// from the first run with Repeat set to the run count; PeakRSSBytes is
+// the maximum across runs, since RSS is a high-water mark either way.
+func MedianReport(runs []*Report) *Report {
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	out := *runs[0]
+	out.Repeat = len(runs)
+	out.Results = nil
+	byName := make(map[string][]Result)
+	for _, rep := range runs {
+		if rep.PeakRSSBytes > out.PeakRSSBytes {
+			out.PeakRSSBytes = rep.PeakRSSBytes
+		}
+		for _, r := range rep.Results {
+			byName[r.Name] = append(byName[r.Name], r)
+		}
+	}
+	for _, first := range runs[0].Results {
+		rs := byName[first.Name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ReqPerSec < rs[j].ReqPerSec })
+		out.Results = append(out.Results, rs[(len(rs)-1)/2])
+	}
+	return &out
 }
 
 // dedupWorkers sorts and deduplicates the worker counts.

@@ -60,6 +60,72 @@ func TestSchemaVersionRejected(t *testing.T) {
 	}
 }
 
+// TestSchemaV1Accepted checks the committed v1 baselines still load:
+// v2 only added fields, so old documents must keep gating.
+func TestSchemaV1Accepted(t *testing.T) {
+	rep := &Report{SchemaVersion: 1, Revision: "old",
+		Results: []Result{{Name: "decode/csv/size=200k", ReqPerSec: 1000}}}
+	path := filepath.Join(t.TempDir(), "BENCH_v1.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	if got.SchemaVersion != 1 || len(got.Results) != 1 {
+		t.Fatalf("v1 round trip: %+v", got)
+	}
+}
+
+// TestMedianReport locks the -repeat merge: each scenario keeps its
+// median-throughput run whole, the header records the repeat count,
+// and peak RSS is the maximum across runs.
+func TestMedianReport(t *testing.T) {
+	mk := func(rss int64, aReq, bReq float64) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion, Revision: "r", CPUs: 4, PeakRSSBytes: rss,
+			Results: []Result{
+				{Name: "a", ReqPerSec: aReq, NsPerOp: 1e9 / aReq, Stages: map[string]float64{"merge": aReq}},
+				{Name: "b", ReqPerSec: bReq},
+			},
+		}
+	}
+	if got := MedianReport(nil); got != nil {
+		t.Fatalf("empty merge = %+v", got)
+	}
+	one := mk(1, 100, 200)
+	if got := MedianReport([]*Report{one}); got != one || got.Repeat != 0 {
+		t.Fatalf("single run must pass through unchanged, got %+v", got)
+	}
+
+	runs := []*Report{mk(10, 300, 90), mk(30, 100, 110), mk(20, 200, 100)}
+	got := MedianReport(runs)
+	if got.Repeat != 3 {
+		t.Fatalf("Repeat = %d, want 3", got.Repeat)
+	}
+	if got.PeakRSSBytes != 30 {
+		t.Fatalf("PeakRSSBytes = %d, want max 30", got.PeakRSSBytes)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "a" || got.Results[1].Name != "b" {
+		t.Fatalf("results order: %+v", got.Results)
+	}
+	a, b := got.Results[0], got.Results[1]
+	if a.ReqPerSec != 200 || b.ReqPerSec != 100 {
+		t.Fatalf("medians: a=%v b=%v, want 200 and 100", a.ReqPerSec, b.ReqPerSec)
+	}
+	// The median run is kept whole: its other fields travel with it.
+	if a.NsPerOp != 1e9/200 || a.Stages["merge"] != 200 {
+		t.Fatalf("median run not kept whole: %+v", a)
+	}
+
+	// Even run count: the lower middle wins.
+	got = MedianReport(runs[:2])
+	if got.Repeat != 2 || got.Results[0].ReqPerSec != 100 {
+		t.Fatalf("even-count median: %+v", got.Results[0])
+	}
+}
+
 // TestCompare covers the gate decisions: within tolerance, throughput
 // drop, alloc increase, and the matched-scenario count.
 func TestCompare(t *testing.T) {
@@ -175,6 +241,46 @@ func TestCompareSkipsParallelOnSingleCPU(t *testing.T) {
 	}
 	if len(regs) != 2 {
 		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+}
+
+// TestRunSmokeStages checks Options.Stages yields a per-stage
+// breakdown on the engine scenarios — and only those — with the
+// compute stages nonzero and separable between scenarios sharing an
+// engine.
+func TestRunSmokeStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is seconds-long")
+	}
+	rep, err := Run(Options{Sizes: []int{2000}, Workers: []int{1}, Quick: true, Stages: true, Revision: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]Result{}
+	for _, r := range rep.Results {
+		names[r.Name] = r
+	}
+	for _, n := range []string{
+		"reconstruct/size=2k/workers=1", "e2e/bin/size=2k/workers=1",
+		"reconstruct-hdd/size=2k/workers=1", "e2e-hdd/csv/size=2k/workers=1",
+	} {
+		r, ok := names[n]
+		if !ok {
+			t.Fatalf("scenario %s missing", n)
+		}
+		if len(r.Stages) == 0 {
+			t.Fatalf("scenario %s has no stage breakdown", n)
+		}
+		for _, stage := range []string{"decompose", "emulate", "merge"} {
+			if r.Stages[stage] <= 0 {
+				t.Errorf("%s: stage %q = %v, want > 0 (stages: %v)", n, stage, r.Stages[stage], r.Stages)
+			}
+		}
+	}
+	for _, n := range []string{"decode/csv/size=2k", "encode/bin/size=2k"} {
+		if len(names[n].Stages) != 0 {
+			t.Errorf("codec scenario %s unexpectedly has stages: %v", n, names[n].Stages)
+		}
 	}
 }
 

@@ -34,8 +34,12 @@ func ReadFile(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
-	if rep.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("bench: %s: schema version %d, this binary understands %d",
+	switch rep.SchemaVersion {
+	case 1, 2:
+		// v2 only adds fields (Repeat, Result.Stages), so v1 documents
+		// — the committed baselines — parse with those fields absent.
+	default:
+		return nil, fmt.Errorf("bench: %s: schema version %d, this binary understands 1..%d",
 			path, rep.SchemaVersion, SchemaVersion)
 	}
 	return &rep, nil

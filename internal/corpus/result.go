@@ -39,6 +39,16 @@ func (s *Store) resultMetaPath(key string) string {
 // and the note stored with it. It implements the engine's result-cache
 // hook.
 func (s *Store) LookupResult(key string) (string, []byte, bool) {
+	p, note, ok := s.lookupResult(key)
+	if ok {
+		s.metrics.Load().ResultHit()
+	}
+	return p, note, ok
+}
+
+// lookupResult is LookupResult without the hit metric, for internal
+// callers (StoreResult's existence check is not cache traffic).
+func (s *Store) lookupResult(key string) (string, []byte, bool) {
 	if !isHex(key) {
 		return "", nil, false
 	}
@@ -66,7 +76,7 @@ func (s *Store) StoreResult(key, inputDigest string, note []byte, write func(io.
 	if len(note) > 0 && !json.Valid(note) {
 		return "", fmt.Errorf("corpus: result note must be valid JSON")
 	}
-	if p, _, ok := s.LookupResult(key); ok {
+	if p, _, ok := s.lookupResult(key); ok {
 		return p, nil
 	}
 	tmpf, err := os.CreateTemp(s.tmpDir(), "result-*")
@@ -102,6 +112,7 @@ func (s *Store) StoreResult(key, inputDigest string, note []byte, write func(io.
 	if err := writeJSONAtomic(s.tmpDir(), s.resultMetaPath(key), meta); err != nil {
 		return "", err
 	}
+	s.metrics.Load().ResultStore()
 	return s.resultPath(key), nil
 }
 

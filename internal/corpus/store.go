@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -27,6 +28,9 @@ type Store struct {
 	// parallel is the ingest decode worker count (1 = sequential).
 	parallel atomic.Int32
 
+	// metrics is the optional instrumentation hook (SetMetrics).
+	metrics atomic.Pointer[obs.CorpusMetrics]
+
 	mu      sync.Mutex
 	entries map[string]Entry
 }
@@ -38,6 +42,13 @@ type Store struct {
 // (worker side).
 func (s *Store) SetParallel(n int) {
 	s.parallel.Store(int32(n))
+}
+
+// SetMetrics attaches (or, with nil, detaches) the store's
+// instrumentation hook: ingest volume, digest dedup and result-cache
+// traffic. Safe to call concurrently with store operations.
+func (s *Store) SetMetrics(m *obs.CorpusMetrics) {
+	s.metrics.Store(m)
 }
 
 // Open opens (creating if needed) the store rooted at root. The
@@ -245,6 +256,7 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if existing, ok := s.entries[digest]; ok {
+		s.metrics.Load().IngestObserve(cw.n, int64(sum.Requests), false)
 		return existing, false, nil
 	}
 	if err := os.Rename(tmpName, s.blobPath(digest)); err != nil {
@@ -258,6 +270,7 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 	if err := s.writeIndexLocked(); err != nil {
 		return Entry{}, false, err
 	}
+	s.metrics.Load().IngestObserve(cw.n, int64(sum.Requests), true)
 	return entry, true, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -446,5 +447,64 @@ func TestIngestParallelRejects(t *testing.T) {
 	}
 	if len(tmps) != 0 {
 		t.Fatalf("rejected uploads left %d staging files", len(tmps))
+	}
+}
+
+// TestStoreMetrics checks the instrumentation hook: ingest volume and
+// dedup on the store side, hit/store traffic on the result cache, and
+// that StoreResult's internal existence probe is not counted as a hit.
+func TestStoreMetrics(t *testing.T) {
+	s := openStore(t)
+	reg := obs.NewRegistry()
+	cm := obs.NewCorpusMetrics(reg)
+	s.SetMetrics(cm)
+
+	data := csvBytes(t, sampleTrace())
+	e, created, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err != nil || !created {
+		t.Fatalf("first ingest: created=%v err=%v", created, err)
+	}
+	if _, created, err = s.Ingest(bytes.NewReader(data), "csv"); err != nil || created {
+		t.Fatalf("dedup ingest: created=%v err=%v", created, err)
+	}
+	if got := cm.IngestBytes.Value(); got != 2*int64(len(data)) {
+		t.Fatalf("ingest bytes = %d, want %d", got, 2*len(data))
+	}
+	if cm.IngestRecords.Value() != 2*int64(sampleTrace().Len()) {
+		t.Fatalf("ingest records = %d", cm.IngestRecords.Value())
+	}
+	if cm.IngestTraces.Value() != 1 || cm.DedupHits.Value() != 1 {
+		t.Fatalf("traces=%d dedup=%d, want 1/1", cm.IngestTraces.Value(), cm.DedupHits.Value())
+	}
+
+	key := strings.Repeat("ab", 32)
+	if _, _, ok := s.LookupResult(key); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if cm.ResultHits.Value() != 0 {
+		t.Fatalf("miss counted as hit: %d", cm.ResultHits.Value())
+	}
+	write := func(w io.Writer) error { _, err := w.Write([]byte("out")); return err }
+	if _, err := s.StoreResult(key, e.Digest, nil, write); err != nil {
+		t.Fatal(err)
+	}
+	if cm.ResultStores.Value() != 1 {
+		t.Fatalf("result stores = %d, want 1", cm.ResultStores.Value())
+	}
+	if cm.ResultHits.Value() != 0 {
+		t.Fatalf("StoreResult's internal probe counted as a hit: %d", cm.ResultHits.Value())
+	}
+	// Re-storing an existing key is a no-op, not a new store.
+	if _, err := s.StoreResult(key, e.Digest, nil, write); err != nil {
+		t.Fatal(err)
+	}
+	if cm.ResultStores.Value() != 1 {
+		t.Fatalf("no-op store counted: %d", cm.ResultStores.Value())
+	}
+	if _, _, ok := s.LookupResult(key); !ok {
+		t.Fatal("lookup missed stored result")
+	}
+	if cm.ResultHits.Value() != 1 {
+		t.Fatalf("result hits = %d, want 1", cm.ResultHits.Value())
 	}
 }

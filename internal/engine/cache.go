@@ -103,6 +103,9 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 	}
 	key := CacheKey(inputDigest, spec)
 	if path, note, ok := cache.LookupResult(key); ok {
+		if cfg.Metrics != nil {
+			cfg.Metrics.CacheHits.Inc()
+		}
 		// A missing or unreadable note only loses the restored report.
 		var n cacheNote
 		json.Unmarshal(note, &n)
@@ -115,6 +118,9 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 		return &JobResult{Report: n.Report, OutPath: path}, true, nil
 	}
 
+	if cfg.Metrics != nil {
+		cfg.Metrics.CacheMisses.Inc()
+	}
 	res, err := RunJob(cfg, spec)
 	if err != nil {
 		return nil, false, err

@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/infer"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	// Device builds one target device per worker (default: the paper's
 	// 4-SSD flash array).
 	Device func() device.Device
+	// Metrics, when non-nil, receives per-stage wall time, queue
+	// occupancy, token-pool backpressure and cache traffic. nil (the
+	// default) disables instrumentation entirely: the executors take a
+	// per-shard nil check and the per-request paths are untouched.
+	Metrics *obs.EngineMetrics
 }
 
 func (c Config) withDefaults() Config {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/infer"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -76,15 +77,25 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 		end   time.Duration
 	)
 	if s.dst != nil {
-		idle, async = s.dstIdle, s.dstAsync
-		infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
-		end = replay.EmulateShardInto(s.dst, s.reqs, dev, idle)
-		out = s.dst
+		idle, async, out = s.dstIdle, s.dstAsync, s.dst
 	} else {
 		idle, async = scr.grow(len(s.reqs))
-		infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
-		end = replay.EmulateShardInto(s.reqs, s.reqs, dev, idle)
 		out = s.reqs
+	}
+	mtr := e.cfg.Metrics
+	var t0 time.Time
+	if mtr != nil {
+		t0 = time.Now()
+	}
+	infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
+	if mtr != nil {
+		t1 := time.Now()
+		mtr.StageAdd(obs.StageDecompose, t1.Sub(t0))
+		t0 = t1
+	}
+	end = replay.EmulateShardInto(out, s.reqs, dev, idle)
+	if mtr != nil {
+		mtr.StageAdd(obs.StageEmulate, time.Since(t0))
 	}
 	res := shardResult{
 		index: s.index,
@@ -257,6 +268,7 @@ func (p *bufPool) putBytes(b []byte) {
 // preallocated output) disables recycling.
 func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, emit func(res shardResult, offset time.Duration) error, pool *bufPool) error {
 	workers := e.cfg.Workers
+	mtr := e.cfg.Metrics
 	shardCh := make(chan shard, workers)
 	results := make(chan shardResult, workers)
 	tokens := make(chan struct{}, 4*workers)
@@ -265,11 +277,29 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 	var produceErr error
 	go func() {
 		defer close(shardCh)
+		// Plan-stage accounting: the producer's wall time minus the time
+		// it spent stalled on the token pool (that is downstream
+		// backpressure, not planning).
+		var planStart time.Time
+		var tokenWait time.Duration
+		if mtr != nil {
+			planStart = time.Now()
+		}
 		produceErr = produce(func(s shard) error {
+			var w0 time.Time
+			if mtr != nil {
+				w0 = time.Now()
+			}
 			select {
 			case tokens <- struct{}{}:
 			case <-stop:
 				return errAborted
+			}
+			if mtr != nil {
+				tokenWait += time.Since(w0)
+				mtr.EpochsInFlight.Inc()
+				mtr.StageEpochs[obs.StagePlan].Inc()
+				mtr.QueuePush(obs.StageDecompose)
 			}
 			select {
 			case shardCh <- s:
@@ -278,6 +308,10 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			}
 			return nil
 		})
+		if mtr != nil {
+			mtr.TokenWaitNanos.Add(int64(tokenWait))
+			mtr.StageNanos[obs.StagePlan].Add(int64(time.Since(planStart) - tokenWait))
+		}
 	}()
 
 	var wg sync.WaitGroup
@@ -289,11 +323,13 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			var scr workerScratch
 			for s := range shardCh {
 				s := s
+				mtr.QueuePop(obs.StageDecompose)
 				res := e.runShard(&s, m, useRecorded, dev, &scr)
 				if pool != nil {
 					// The seq flags are dead once the shard ran.
 					pool.putSeqs(s.seq)
 				}
+				mtr.QueuePush(obs.StageMerge)
 				results <- res
 			}
 		}()
@@ -308,6 +344,7 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 	next := 0
 	var base, shift time.Duration
 	for res := range results {
+		mtr.QueuePop(obs.StageMerge)
 		pending[res.index] = res
 		for {
 			r, ok := pending[next]
@@ -316,9 +353,18 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			}
 			delete(pending, next)
 			if emitErr == nil {
+				var m0 time.Time
+				if mtr != nil {
+					m0 = time.Now()
+				}
 				if err := emit(r, base-shift); err != nil {
 					emitErr = err
 					close(stop)
+				}
+				if mtr != nil {
+					mtr.StageAdd(obs.StageMerge, time.Since(m0))
+					mtr.Epochs.Inc()
+					mtr.Requests.Add(int64(len(r.reqs)))
 				}
 			}
 			if pool != nil && emitErr == nil {
@@ -329,6 +375,9 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			shift += r.shiftDelta
 			next++
 			<-tokens
+			if mtr != nil {
+				mtr.EpochsInFlight.Dec()
+			}
 		}
 	}
 	if produceErr != nil && produceErr != errAborted {

@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/infer"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -91,6 +92,7 @@ type pipeResult struct {
 // whenever se is.
 func (e *Engine) executePipelined(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, se trace.ShardEncoder, emit func(pipeResult) error, pool *bufPool) error {
 	workers := e.cfg.Workers
+	mtr := e.cfg.Metrics
 	inflight := 4 * workers
 	// Every stage channel holds the full in-flight budget, so no stage
 	// send can block: the token pool is the only backpressure point.
@@ -105,15 +107,36 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 	var produceErr error
 	go func() {
 		defer close(decCh)
+		// Plan-stage accounting mirrors execute(): producer wall time
+		// minus token-pool stalls (downstream backpressure).
+		var planStart time.Time
+		var tokenWait time.Duration
+		if mtr != nil {
+			planStart = time.Now()
+		}
 		produceErr = produce(func(s shard) error {
+			var w0 time.Time
+			if mtr != nil {
+				w0 = time.Now()
+			}
 			select {
 			case tokens <- struct{}{}:
 			case <-stop:
 				return errAborted
 			}
+			if mtr != nil {
+				tokenWait += time.Since(w0)
+				mtr.EpochsInFlight.Inc()
+				mtr.StageEpochs[obs.StagePlan].Inc()
+				mtr.QueuePush(obs.StageDecompose)
+			}
 			decCh <- pipeEpoch{s: s}
 			return nil
 		})
+		if mtr != nil {
+			mtr.TokenWaitNanos.Add(int64(tokenWait))
+			mtr.StageNanos[obs.StagePlan].Add(int64(time.Since(planStart) - tokenWait))
+		}
 	}()
 
 	var wg, decDone sync.WaitGroup
@@ -131,14 +154,33 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 						emu = nil
 						continue
 					}
-					resCh <- e.runEpoch(&ep, dev, se, pool, skipPost)
+					mtr.QueuePop(obs.StageEmulate)
+					var t0 time.Time
+					if mtr != nil {
+						t0 = time.Now()
+					}
+					res := e.runEpoch(&ep, dev, se, pool, skipPost)
+					if mtr != nil {
+						mtr.StageAdd(obs.StageEmulate, time.Since(t0))
+					}
+					mtr.QueuePush(obs.StageMerge)
+					resCh <- res
 				case ep, ok := <-dec:
 					if !ok {
 						dec = nil
 						decDone.Done()
 						continue
 					}
+					mtr.QueuePop(obs.StageDecompose)
+					var t0 time.Time
+					if mtr != nil {
+						t0 = time.Now()
+					}
 					e.decomposeEpoch(&ep, m, useRecorded, pool)
+					if mtr != nil {
+						mtr.StageAdd(obs.StageDecompose, time.Since(t0))
+					}
+					mtr.QueuePush(obs.StageService)
 					svcCh <- ep
 				}
 			}
@@ -162,6 +204,7 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 		next := 0
 		var now, shift time.Duration
 		for ep := range svcCh {
+			mtr.QueuePop(obs.StageService)
 			pending[ep.s.index] = ep
 			for {
 				cur, ok := pending[next]
@@ -169,6 +212,10 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 					break
 				}
 				delete(pending, next)
+				var t0 time.Time
+				if mtr != nil {
+					t0 = time.Now()
+				}
 				cur.h = replay.Handoff{State: snap.Snapshot(), Now: now}
 				cur.shift = shift
 				var async []bool
@@ -178,6 +225,10 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 				var delta time.Duration
 				now, delta = replay.ServiceShard(cur.s.reqs, sdev, cur.idle, async, now)
 				shift += delta
+				if mtr != nil {
+					mtr.StageAdd(obs.StageService, time.Since(t0))
+				}
+				mtr.QueuePush(obs.StageEmulate)
 				emuCh <- cur
 				next++
 			}
@@ -188,6 +239,7 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 	pending := make(map[int]pipeResult)
 	next := 0
 	for res := range resCh {
+		mtr.QueuePop(obs.StageMerge)
 		pending[res.index] = res
 		for {
 			r, ok := pending[next]
@@ -196,9 +248,18 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 			}
 			delete(pending, next)
 			if emitErr == nil {
+				var m0 time.Time
+				if mtr != nil {
+					m0 = time.Now()
+				}
 				if err := emit(r); err != nil {
 					emitErr = err
 					close(stop)
+				}
+				if mtr != nil {
+					mtr.StageAdd(obs.StageMerge, time.Since(m0))
+					mtr.Epochs.Inc()
+					mtr.Requests.Add(int64(r.n))
 				}
 			}
 			if pool != nil {
@@ -210,6 +271,9 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 			}
 			next++
 			<-tokens
+			if mtr != nil {
+				mtr.EpochsInFlight.Dec()
+			}
 		}
 	}
 	if produceErr != nil && produceErr != errAborted {

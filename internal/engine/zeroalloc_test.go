@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -42,7 +43,11 @@ func allocBenchTrace(n int) *trace.Trace {
 }
 
 // TestStreamReconstructAllocBound locks the amortized allocation cost
-// of ReconstructStream on the recorded-latency path.
+// of ReconstructStream on the recorded-latency path — both with
+// instrumentation disabled (the nil Config.Metrics hook must leave the
+// hot path untouched) and with a live metrics registry attached (the
+// instrumentation itself must be allocation-free: atomic updates on
+// pre-registered metrics only).
 func TestStreamReconstructAllocBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting at full trace size")
@@ -54,28 +59,48 @@ func TestStreamReconstructAllocBound(t *testing.T) {
 	}
 	data := buf.Bytes()
 
-	eng := New(Config{Workers: 2, MaxShardRequests: 4096})
-	run := func() {
-		dec := trace.NewBinaryDecoder(bytes.NewReader(data))
-		rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if rep.Requests != n {
-			t.Fatalf("reconstructed %d of %d requests", rep.Requests, n)
-		}
+	cases := []struct {
+		name    string
+		metrics *obs.EngineMetrics
+	}{
+		{"metrics-disabled", nil},
+		{"metrics-enabled", obs.NewEngineMetrics(obs.NewRegistry())},
 	}
-	run() // warm up code paths
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := New(Config{Workers: 2, MaxShardRequests: 4096, Metrics: tc.metrics})
+			run := func() {
+				dec := trace.NewBinaryDecoder(bytes.NewReader(data))
+				rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Requests != n {
+					t.Fatalf("reconstructed %d of %d requests", rep.Requests, n)
+				}
+			}
+			run() // warm up code paths
 
-	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	run()
-	runtime.ReadMemStats(&m1)
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			run()
+			runtime.ReadMemStats(&m1)
 
-	perReq := float64(m1.Mallocs-m0.Mallocs) / float64(n)
-	if perReq > 0.05 {
-		t.Fatalf("streaming reconstruction allocates %.4f objects per request (%d total), want amortized ~0",
-			perReq, m1.Mallocs-m0.Mallocs)
+			perReq := float64(m1.Mallocs-m0.Mallocs) / float64(n)
+			if perReq > 0.05 {
+				t.Fatalf("streaming reconstruction allocates %.4f objects per request (%d total), want amortized ~0",
+					perReq, m1.Mallocs-m0.Mallocs)
+			}
+			if tc.metrics != nil {
+				if got := tc.metrics.Requests.Value(); got != 2*n {
+					t.Fatalf("engine_requests_total = %d, want %d", got, 2*n)
+				}
+				secs := tc.metrics.StageSeconds()
+				if secs["decompose"] <= 0 || secs["emulate"] <= 0 || secs["merge"] <= 0 {
+					t.Fatalf("stage seconds not recorded: %v", secs)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,176 @@
+package obs
+
+// Domain metric bundles: pre-registered metric sets the engine and
+// the corpus store accept as nil-checked hooks, so instrumentation
+// costs nothing when disabled and only atomic updates when enabled.
+// All methods tolerate a nil receiver, which keeps the call sites
+// free of guards for the pure-counter updates; call sites that would
+// otherwise pay a time.Now() still guard explicitly.
+
+import "time"
+
+// Engine pipeline stages, in pipeline order. The epoch-pipelined HDD
+// executor exercises all five; the shard-parallel executor has no
+// service stage (shard-safe devices drain between epochs, so nothing
+// is serialized on device state).
+const (
+	StagePlan = iota
+	StageDecompose
+	StageService
+	StageEmulate
+	StageMerge
+	NumStages
+)
+
+// StageNames are the stage label values, indexed by the constants
+// above.
+var StageNames = [NumStages]string{"plan", "decompose", "service", "emulate", "merge"}
+
+// EngineMetrics is the engine's instrumentation hook
+// (engine.Config.Metrics): per-stage wall time and queue occupancy,
+// token-pool wait, epochs in flight, and result-cache traffic. A nil
+// *EngineMetrics disables instrumentation entirely.
+type EngineMetrics struct {
+	// StageNanos accumulates wall nanoseconds spent per stage (exposed
+	// as engine_stage_seconds_total); StageEpochs counts epochs that
+	// passed through each stage.
+	StageNanos  [NumStages]*Counter
+	StageEpochs [NumStages]*Counter
+	// QueueDepth is the occupancy of each stage's input queue
+	// (StagePlan has none and stays zero).
+	QueueDepth [NumStages]*Gauge
+	// TokenWaitNanos accumulates producer stalls on the in-flight
+	// token pool — backpressure from slow downstream stages.
+	TokenWaitNanos *Counter
+	// EpochsInFlight is the number of epochs holding an in-flight
+	// token (admitted by the planner, not yet merged).
+	EpochsInFlight *Gauge
+	// Epochs and Requests count merged work.
+	Epochs   *Counter
+	Requests *Counter
+	// CacheHits / CacheMisses count result-cache consultations by
+	// cached job runs.
+	CacheHits   *Counter
+	CacheMisses *Counter
+}
+
+// NewEngineMetrics registers the engine metric set on r.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	m := &EngineMetrics{}
+	for i, name := range StageNames {
+		l := Labels{"stage": name}
+		m.StageNanos[i] = r.CounterScaled("engine_stage_seconds_total",
+			"Cumulative wall time per engine pipeline stage.", l, 1e-9)
+		m.StageEpochs[i] = r.Counter("engine_stage_epochs_total",
+			"Epochs processed per engine pipeline stage.", l)
+		m.QueueDepth[i] = r.Gauge("engine_stage_queue_depth",
+			"Occupancy of each pipeline stage's input queue.", l)
+	}
+	m.TokenWaitNanos = r.CounterScaled("engine_token_wait_seconds_total",
+		"Cumulative producer wall time stalled on the in-flight epoch token pool.", nil, 1e-9)
+	m.EpochsInFlight = r.Gauge("engine_epochs_in_flight",
+		"Epochs admitted by the planner and not yet merged.", nil)
+	m.Epochs = r.Counter("engine_epochs_total", "Epochs merged into output.", nil)
+	m.Requests = r.Counter("engine_requests_total", "Trace requests reconstructed.", nil)
+	m.CacheHits = r.Counter("engine_cache_hits_total",
+		"Cached jobs served from the result cache without reconstructing.", nil)
+	m.CacheMisses = r.Counter("engine_cache_misses_total",
+		"Cached jobs that missed the result cache and reconstructed.", nil)
+	return m
+}
+
+// StageAdd records d of wall time (and one epoch) against a stage.
+func (m *EngineMetrics) StageAdd(stage int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.StageNanos[stage].Add(int64(d))
+	m.StageEpochs[stage].Inc()
+}
+
+// QueuePush/QueuePop track a stage input queue's occupancy around
+// channel sends and receives.
+func (m *EngineMetrics) QueuePush(stage int) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth[stage].Inc()
+}
+
+func (m *EngineMetrics) QueuePop(stage int) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth[stage].Dec()
+}
+
+// StageSeconds snapshots the cumulative per-stage wall time, keyed by
+// stage name — what tracebench -stages reports.
+func (m *EngineMetrics) StageSeconds() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, NumStages+1)
+	for i, name := range StageNames {
+		out[name] = float64(m.StageNanos[i].Value()) / 1e9
+	}
+	out["token_wait"] = float64(m.TokenWaitNanos.Value()) / 1e9
+	return out
+}
+
+// CorpusMetrics is the corpus store's instrumentation hook
+// (Store.SetMetrics): ingest volume, digest dedup, and result-cache
+// traffic. A nil *CorpusMetrics disables instrumentation.
+type CorpusMetrics struct {
+	IngestBytes   *Counter
+	IngestRecords *Counter
+	IngestTraces  *Counter
+	DedupHits     *Counter
+	ResultHits    *Counter
+	ResultStores  *Counter
+}
+
+// NewCorpusMetrics registers the corpus metric set on r.
+func NewCorpusMetrics(r *Registry) *CorpusMetrics {
+	return &CorpusMetrics{
+		IngestBytes: r.Counter("corpus_ingest_bytes_total",
+			"Bytes accepted by corpus ingest (including deduplicated uploads).", nil),
+		IngestRecords: r.Counter("corpus_ingest_records_total",
+			"Trace records decoded during corpus ingest.", nil),
+		IngestTraces: r.Counter("corpus_ingest_traces_total",
+			"New traces landed in the corpus.", nil),
+		DedupHits: r.Counter("corpus_dedup_hits_total",
+			"Uploads discarded because their digest was already stored.", nil),
+		ResultHits: r.Counter("corpus_result_cache_hits_total",
+			"Result-cache lookups that found a cached output.", nil),
+		ResultStores: r.Counter("corpus_result_cache_stores_total",
+			"New reconstructed outputs stored in the result cache.", nil),
+	}
+}
+
+// IngestObserve records one ingest outcome.
+func (m *CorpusMetrics) IngestObserve(bytes, records int64, created bool) {
+	if m == nil {
+		return
+	}
+	m.IngestBytes.Add(bytes)
+	m.IngestRecords.Add(records)
+	if created {
+		m.IngestTraces.Inc()
+	} else {
+		m.DedupHits.Inc()
+	}
+}
+
+// ResultHit / ResultStore record result-cache traffic.
+func (m *CorpusMetrics) ResultHit() {
+	if m != nil {
+		m.ResultHits.Inc()
+	}
+}
+
+func (m *CorpusMetrics) ResultStore() {
+	if m != nil {
+		m.ResultStores.Inc()
+	}
+}

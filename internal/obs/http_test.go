@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log output is not one JSON record: %q", buf.String())
+	}
+	if rec["msg"] != "shown" || rec["k"] != "v" {
+		t.Fatalf("record: %v", rec)
+	}
+	if _, err := NewLogger(io.Discard, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(io.Discard, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestMiddlewareRequestIDAndMetrics(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg, "t")
+	var logBuf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	mux := http.NewServeMux()
+	var sawID string
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sawID = RequestIDFrom(r.Context())
+		LoggerFrom(r.Context()).Info("handling", "job", r.PathValue("id"))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(log, hm, mux)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/jobs/job-7", nil))
+	hdr := rr.Header().Get("X-Request-ID")
+	if hdr == "" || hdr != sawID {
+		t.Fatalf("request id: header %q, context %q", hdr, sawID)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "request_id="+hdr) {
+		t.Fatalf("handler log missing bound request id:\n%s", logs)
+	}
+	if !strings.Contains(logs, "route=\"GET /jobs/{id}\"") {
+		t.Fatalf("completion log missing route:\n%s", logs)
+	}
+
+	// Unmatched request lands under its own label and logs a warning.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`t_requests_total{code="200",route="GET /jobs/{id}"} 1`,
+		`t_requests_total{code="404",route="unmatched"} 1`,
+		`t_request_seconds_count{route="GET /jobs/{id}"} 1`,
+		"t_requests_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+}
+
+func TestRequestIDsDistinct(t *testing.T) {
+	a, b := nextRequestID(), nextRequestID()
+	if a == b {
+		t.Fatalf("request ids collide: %s", a)
+	}
+}
