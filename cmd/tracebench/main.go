@@ -15,6 +15,7 @@
 //	tracebench -quick -daemon http://localhost:8080        # + daemon round trip
 //	tracebench -quick -stages                              # + engine stage breakdown
 //	tracebench -quick -repeat 5                            # median of 5 runs
+//	tracebench -quick -trace traces/                       # + Perfetto timelines
 //
 // The gate fails (exit 1) on a >15% req/s drop or any allocs/request
 // increase beyond counter noise in a scenario both reports share; it
@@ -62,6 +63,8 @@ func run(args []string, stdout io.Writer) error {
 		"record each engine scenario's per-stage wall-time breakdown (plan/decompose/service/emulate/merge) in the report")
 	repeat := fs.Int("repeat", 1,
 		"run the whole suite N times and report each scenario's median run by req/s (noise suppression)")
+	traceDir := fs.String("trace", "",
+		"directory (created if missing) for one Chrome trace-event timeline per engine scenario op, viewable in Perfetto; captured outside the timed runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +91,13 @@ func run(args []string, stdout io.Writer) error {
 		Quick:    *quick,
 		Revision: *rev,
 		Stages:   *stages,
+		TraceDir: *traceDir,
 		Log:      func(line string) { fmt.Fprintln(stdout, line) },
+	}
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o777); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
 	}
 	if opts.Revision == "" {
 		opts.Revision = vcsRevision()
@@ -109,7 +118,13 @@ func run(args []string, stdout io.Writer) error {
 		if *repeat > 1 {
 			fmt.Fprintf(stdout, "--- run %d/%d ---\n", i+1, *repeat)
 		}
-		r, err := bench.Run(opts)
+		ro := opts
+		if i > 0 {
+			// One timeline per scenario is enough; later repeats would
+			// only overwrite the first run's files.
+			ro.TraceDir = ""
+		}
+		r, err := bench.Run(ro)
 		if err != nil {
 			return err
 		}

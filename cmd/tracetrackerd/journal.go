@@ -40,6 +40,11 @@ type journalRecord struct {
 	Cached  bool       `json:"cached,omitempty"`
 	Report  *jobReport `json:"report,omitempty"`
 	Error   string     `json:"error,omitempty"`
+	// TraceID names the W3C trace the job files under: the submitting
+	// request's trace on submit records, the executed trace on done
+	// records — so restored jobs keep their trace identity even though
+	// the timeline itself dies with the old process.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // journal is the append handle; writes are serialized and synced per

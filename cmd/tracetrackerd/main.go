@@ -22,6 +22,7 @@
 //	  -d '{"in":"corpus:<digest>","method":"tracetracker","parallel":8}'
 //	curl -s localhost:8080/jobs/job-1          # status + report
 //	curl -s localhost:8080/jobs/job-1/result   # reconstructed trace
+//	curl -s localhost:8080/jobs/job-1/trace    # span timeline (?format=perfetto)
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains running
 // jobs up to -drain, flushes the journal and exits; interrupted jobs
@@ -58,6 +59,10 @@ func main() {
 		"corpus data directory: enables /corpus uploads, corpus:<digest> job inputs, result caching, and crash recovery via the job journal")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown deadline for running jobs on SIGINT/SIGTERM")
+	traceRing := flag.Int("trace-ring", obs.DefaultFlightRecorderCapacity,
+		"finished-job span timelines kept for GET /jobs/{id}/trace before eviction")
+	slowJob := flag.Duration("slow-job", time.Minute,
+		"log a job's slowest spans when its wall time crosses this threshold (0 disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text, json")
 	pprofOn := flag.Bool("pprof", false,
@@ -77,6 +82,8 @@ func main() {
 	}
 	srv := newServer(base, *jobs, *retain)
 	srv.ingestParallel = *parallel
+	srv.flight.SetCapacity(*traceRing)
+	srv.slowJob = *slowJob
 	srv.setLogger(log)
 	if *pprofOn {
 		srv.enablePprof()

@@ -53,8 +53,18 @@ type job struct {
 	Report    *jobReport `json:"report,omitempty"`
 	OutPath   string     `json:"out_path,omitempty"`
 	ResultURL string     `json:"result_url,omitempty"`
+	// TraceID is the W3C trace the job's span timeline files under —
+	// the submitting request's trace, so a client propagating
+	// traceparent finds its job in its own distributed trace. TraceURL
+	// appears once a timeline is in the flight recorder.
+	TraceID  string `json:"trace_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
 
 	result *engine.JobResult
+	// traceParent is the submit request's trace position (parent of
+	// the job's root span). Zero for journal-restored jobs, which keep
+	// only the trace ID.
+	traceParent obs.TraceContext
 }
 
 // jobReport is the JSON projection of an engine report.
@@ -143,6 +153,13 @@ type server struct {
 	jobsExecuted *obs.Counter
 	jobsCached   *obs.Counter
 	jobsFailed   *obs.Counter
+	slowJobs     *obs.Counter
+
+	// flight holds recent job timelines for GET /jobs/{id}/trace;
+	// slowJob, when > 0, is the wall-time threshold past which a
+	// finished job logs its slowest spans (set before serving).
+	flight  *obs.FlightRecorder
+	slowJob time.Duration
 	// Journal replay counters (set during openData).
 	replayedJobs *obs.Counter
 	requeuedJobs *obs.Counter
@@ -203,6 +220,14 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 		"Jobs restored from the journal at startup.", nil)
 	s.requeuedJobs = s.reg.Counter("daemon_journal_requeued_jobs_total",
 		"Interrupted jobs re-queued from the journal at startup.", nil)
+	s.slowJobs = s.reg.Counter("daemon_slow_jobs_total",
+		"Jobs whose wall time crossed the slow-job threshold.", nil)
+	s.flight = obs.NewFlightRecorder(obs.DefaultFlightRecorderCapacity)
+	s.flight.SetEvictionCounter(s.reg.Counter("daemon_trace_evictions_total",
+		"Job timelines evicted from the trace flight recorder.", nil))
+	s.reg.GaugeFunc("daemon_trace_recorder_timelines", "Job timelines held in the trace flight recorder.", nil,
+		func() float64 { return float64(s.flight.Len()) })
+	obs.RegisterRuntimeMetrics(s.reg)
 	s.reg.GaugeFunc("daemon_queue_depth", "Jobs waiting in the executor queue.", nil,
 		func() float64 { return float64(len(s.queue)) })
 	s.reg.GaugeFunc("daemon_jobs_running", "Jobs currently executing.", nil,
@@ -214,6 +239,7 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /corpus", s.handleCorpusIngest)
 	s.mux.HandleFunc("PUT /corpus", s.handleCorpusIngest)
 	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
@@ -324,6 +350,7 @@ func (s *server) replay(recs []journalRecord) {
 				Submitted: rec.Time,
 				Spec:      *rec.Spec,
 				Digest:    rec.Digest,
+				TraceID:   rec.TraceID,
 			}
 			s.jobs[j.ID] = j
 			s.order = append(s.order, j.ID)
@@ -337,6 +364,12 @@ func (s *server) replay(recs []journalRecord) {
 			j.Finished = &t
 			j.Report = rec.Report
 			j.Cached = rec.Cached
+			if rec.TraceID != "" {
+				// The timeline itself lived in the old process's flight
+				// recorder; the trace ID still names the distributed
+				// trace the job ran under.
+				j.TraceID = rec.TraceID
+			}
 			j.OutPath = ""
 			if rec.OutPath != "" {
 				if _, err := os.Stat(rec.OutPath); err == nil {
@@ -467,6 +500,7 @@ func (s *server) journalSnapshot() []journalRecord {
 		j := s.jobs[id]
 		recs = append(recs, journalRecord{
 			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
+			TraceID: j.TraceID,
 		})
 		fin := j.Submitted
 		if j.Finished != nil {
@@ -483,6 +517,7 @@ func (s *server) journalSnapshot() []journalRecord {
 			recs = append(recs, journalRecord{
 				Op: journalDone, ID: j.ID, Time: fin,
 				Key: key, OutPath: j.OutPath, Cached: j.Cached, Report: j.Report,
+				TraceID: j.TraceID,
 			})
 		case stateFailed:
 			recs = append(recs, journalRecord{
@@ -503,8 +538,20 @@ func (s *server) worker() {
 		s.mu.Lock()
 		j.State = stateRunning
 		j.Started = &now
+		parent := j.traceParent
+		if !parent.Valid() && j.TraceID != "" {
+			// Journal-restored job: keep its trace ID, no parent span.
+			parent = obs.TraceContext{TraceID: j.TraceID}
+		}
 		s.mu.Unlock()
 		s.log.Info("job started", "job", j.ID, "name", j.Name, "method", j.Spec.Method)
+
+		// Each job records into its own tracer on an engine config
+		// derived from the shared base; the timeline parks in the
+		// flight recorder however the job ends.
+		tracer := obs.NewTracer(j.ID+" "+j.Name, 0, parent)
+		cfg := s.base
+		cfg.Trace = tracer
 
 		var res *engine.JobResult
 		var err error
@@ -519,16 +566,20 @@ func (s *server) worker() {
 			} else {
 				runSpec.In = p
 				key = engine.CacheKey(j.Digest, runSpec)
-				res, hit, err = engine.RunJobCached(s.base, runSpec, j.Digest, s.store)
+				res, hit, err = engine.RunJobCached(cfg, runSpec, j.Digest, s.store)
 			}
 		} else {
-			res, err = engine.RunJob(s.base, runSpec)
+			res, err = engine.RunJob(cfg, runSpec)
 		}
 
 		fin := time.Now()
-		rec := journalRecord{ID: j.ID, Time: fin, Key: key, Cached: hit}
+		jt := tracer.Finish()
+		s.flight.Add(j.ID, jt)
+		rec := journalRecord{ID: j.ID, Time: fin, Key: key, Cached: hit, TraceID: jt.TraceID}
 		s.mu.Lock()
 		j.Finished = &fin
+		j.TraceID = jt.TraceID
+		j.TraceURL = "/jobs/" + j.ID + "/trace"
 		if err != nil {
 			s.jobsFailed.Inc()
 			j.State = stateFailed
@@ -557,6 +608,12 @@ func (s *server) worker() {
 			s.log.Warn("job failed", "job", j.ID, "error", err, "duration", fin.Sub(now))
 		} else {
 			s.log.Info("job finished", "job", j.ID, "cached", hit, "duration", fin.Sub(now))
+		}
+		if wall := fin.Sub(now); s.slowJob > 0 && wall >= s.slowJob {
+			s.slowJobs.Inc()
+			s.log.Warn("slow job", "job", j.ID, "duration", wall,
+				"threshold", s.slowJob, "trace_id", jt.TraceID,
+				"slowest_spans", obs.SummarizeSpans(jt.SlowestSpans(5)))
 		}
 		if s.jnl != nil {
 			s.jnl.append(rec)
@@ -650,13 +707,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
+	tc := obs.TraceContextFrom(r.Context())
 	j := &job{
-		ID:        fmt.Sprintf("job-%d", s.nextID),
-		Name:      spec.Name,
-		State:     stateQueued,
-		Submitted: time.Now(),
-		Spec:      spec,
-		Digest:    digest,
+		ID:          fmt.Sprintf("job-%d", s.nextID),
+		Name:        spec.Name,
+		State:       stateQueued,
+		Submitted:   time.Now(),
+		Spec:        spec,
+		Digest:      digest,
+		TraceID:     tc.TraceID,
+		traceParent: tc,
 	}
 	// The non-blocking send happens under s.mu so it is atomic with
 	// the closed check above (Close sets closed before closing the
@@ -676,6 +736,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// record — replay depends on that order.
 		s.jnl.append(journalRecord{
 			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
+			TraceID: j.TraceID,
 		})
 	}
 	s.mu.Unlock()
@@ -685,7 +746,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{"id": j.ID, "status_url": "/jobs/" + j.ID})
+	json.NewEncoder(w).Encode(map[string]string{"id": j.ID, "status_url": "/jobs/" + j.ID, "trace_id": j.TraceID})
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -771,6 +832,45 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if err := trace.EncodeTrace(enc, res.Trace); err != nil {
 		// Headers are gone; nothing better to do than log-by-status.
 		return
+	}
+}
+
+// handleTrace serves a finished job's span timeline from the flight
+// recorder: the JobTrace JSON tree by default, the Chrome trace-event
+// form (loadable in Perfetto) with ?format=perfetto. Still-queued or
+// running jobs answer 409; jobs whose timeline the recorder has
+// evicted (or that finished in an earlier process) answer 410.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state string
+	if ok {
+		state = j.State
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	if state != stateDone && state != stateFailed {
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s; its timeline lands when it finishes", state))
+		return
+	}
+	jt, ok := s.flight.Get(id)
+	if !ok {
+		httpError(w, http.StatusGone, fmt.Errorf("trace evicted from the flight recorder (raise -trace-ring)"))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, jt)
+	case "perfetto", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.trace.json", id))
+		obs.WriteChromeTrace(w, jt)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q (json, perfetto)", format))
 	}
 }
 

@@ -1,0 +1,221 @@
+package main
+
+// Trace end-to-end smoke (run by name, with -race, in CI): boot a
+// daemon, run a job with a client traceparent, and check the job's
+// span timeline serves as a parseable tree whose root covers the
+// job's wall time, in both JSON and Chrome trace-event form — plus
+// the flight-recorder lifecycle answers (409 before finish, 410 after
+// eviction) and the slow-job log line.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// submitTraced posts a job with a traceparent header and returns the
+// accepted job record.
+func submitTraced(t *testing.T, ts *httptest.Server, spec engine.JobSpec, traceparent string) *job {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", traceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	if echo := resp.Header.Get("Traceparent"); echo != traceparent {
+		t.Fatalf("submit response traceparent %q, want the client's %q", echo, traceparent)
+	}
+	var j job
+	if err := json.Unmarshal(raw, &j); err != nil {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+	return &j
+}
+
+func getTrace(t *testing.T, ts *httptest.Server, id, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/trace" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+func TestTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	inPath, _ := writeInput(t, dir)
+	srv := dataServer(t, filepath.Join(dir, "data"))
+	defer srv.Close()
+	srv.slowJob = time.Nanosecond // every job counts as slow
+	var logBuf bytes.Buffer
+	srv.setLogger(slog.New(slog.NewTextHandler(&logBuf, nil)))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := uploadCorpus(t, ts, raw, "csv")
+
+	// The client's distributed-trace position: the job must file under
+	// this trace ID, with the client's span as the root's parent.
+	clientTC := obs.TraceContext{
+		TraceID: "0af7651916cd43dd8448eb211c80319c",
+		SpanID:  "b7ad6b7169203331",
+	}
+	spec := engine.JobSpec{In: corpusScheme + digest, Parallel: 2}
+	sub := submitTraced(t, ts, spec, clientTC.Traceparent())
+	if sub.TraceID != clientTC.TraceID {
+		t.Fatalf("accepted job trace_id %q, want the client's %q", sub.TraceID, clientTC.TraceID)
+	}
+
+	done := waitDone(t, ts, sub.ID)
+	if done.TraceID != clientTC.TraceID {
+		t.Fatalf("finished job trace_id %q, want %q", done.TraceID, clientTC.TraceID)
+	}
+	if done.TraceURL != "/jobs/"+sub.ID+"/trace" {
+		t.Fatalf("trace_url %q", done.TraceURL)
+	}
+
+	// The JSON timeline: a span tree rooted at the job, joined to the
+	// client's trace, with the fixed stages and nonzero epoch spans.
+	resp, body := getTrace(t, ts, sub.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", resp.StatusCode, body)
+	}
+	var jt obs.JobTrace
+	if err := json.Unmarshal(body, &jt); err != nil {
+		t.Fatalf("trace response %q: %v", body, err)
+	}
+	if jt.TraceID != clientTC.TraceID || jt.ParentSpanID != clientTC.SpanID {
+		t.Fatalf("timeline trace identity: id %q parent %q", jt.TraceID, jt.ParentSpanID)
+	}
+	if len(jt.Spans) == 0 {
+		t.Fatal("timeline has no spans")
+	}
+	root := jt.Spans[0]
+	names := map[string]int{}
+	var epochDur time.Duration
+	for _, s := range jt.Spans {
+		names[s.Name]++
+		if s.StartNS < root.StartNS || s.EndNS > root.EndNS {
+			t.Fatalf("span %s escapes the root: %+v", s.Name, s)
+		}
+		if s.Name == "epoch" {
+			epochDur += s.Duration()
+		}
+	}
+	for _, want := range []string{"decode", "plan", "epoch", "decompose", "emulate", "merge", "cache-lookup", "cache-store"} {
+		if names[want] == 0 {
+			t.Errorf("timeline missing %q span; spans: %v", want, names)
+		}
+	}
+	if epochDur <= 0 {
+		t.Fatal("epoch spans have zero total duration")
+	}
+
+	// The root span's duration tracks the job's recorded wall time.
+	wall := done.Finished.Sub(*done.Started)
+	rootDur := time.Duration(jt.DurationNS)
+	if diff := (rootDur - wall).Abs(); diff > 150*time.Millisecond {
+		t.Fatalf("root span %v vs job wall %v (diff %v)", rootDur, wall, diff)
+	}
+
+	// The Perfetto form: valid Chrome trace-event JSON with one X
+	// event per span, served as a download.
+	resp, body = getTrace(t, ts, sub.ID, "?format=perfetto")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("perfetto trace: status %d: %s", resp.StatusCode, body)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".trace.json") {
+		t.Fatalf("perfetto content disposition %q", cd)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("perfetto export invalid: %v\n%s", err, body)
+	}
+	xs := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			xs++
+		}
+	}
+	if xs != len(jt.Spans) {
+		t.Fatalf("perfetto export has %d X events for %d spans", xs, len(jt.Spans))
+	}
+	if chrome.OtherData["trace_id"] != clientTC.TraceID {
+		t.Fatalf("perfetto otherData: %v", chrome.OtherData)
+	}
+
+	if resp, body := getTrace(t, ts, sub.ID, "?format=svg"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := getTrace(t, ts, "job-none", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+
+	// An unfinished job has no timeline yet: 409.
+	srv.mu.Lock()
+	srv.jobs["job-q"] = &job{ID: "job-q", State: stateQueued}
+	srv.order = append(srv.order, "job-q")
+	srv.mu.Unlock()
+	if resp, body := getTrace(t, ts, "job-q", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("queued job trace: status %d: %s", resp.StatusCode, body)
+	}
+
+	// The slow-job threshold (1ns here) fired: counter and log line
+	// naming the slowest spans.
+	if v := srv.slowJobs.Value(); v < 1 {
+		t.Fatalf("daemon_slow_jobs_total = %d, want >= 1", v)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "slow job") || !strings.Contains(logs, "slowest_spans=") {
+		t.Fatalf("slow-job log line missing:\n%s", logs)
+	}
+
+	// Shrinking the flight recorder evicts the oldest timeline; its
+	// endpoint then answers 410, and the eviction is counted.
+	sub2 := submitTraced(t, ts, engine.JobSpec{In: corpusScheme + digest, Parallel: 1, Method: "dynamic"},
+		obs.NewTraceContext().Traceparent())
+	waitDone(t, ts, sub2.ID)
+	srv.flight.SetCapacity(1)
+	if resp, body := getTrace(t, ts, sub.ID, ""); resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted trace: status %d: %s", resp.StatusCode, body)
+	}
+	if srv.flight.Evictions() < 1 {
+		t.Fatal("eviction not counted")
+	}
+	if resp, _ := getTrace(t, ts, sub2.ID, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("newest trace evicted too: status %d", resp.StatusCode)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -103,6 +105,13 @@ type Options struct {
 	// small, but gate runs should leave this off to time the exact
 	// production configuration (a nil hook).
 	Stages bool
+	// TraceDir, when non-empty, runs one extra untimed op of each
+	// engine scenario with a span recorder attached and writes its
+	// timeline as a Chrome trace-event file (<scenario>.trace.json)
+	// under this directory — load it in Perfetto or chrome://tracing
+	// to see where the scenario's wall time goes. The traced op runs
+	// outside testing.Benchmark, so the timed numbers are unperturbed.
+	TraceDir string
 	// Revision labels the report (e.g. a git commit).
 	Revision string
 	// Log, when non-nil, receives one line per finished scenario.
@@ -220,6 +229,36 @@ func stageLine(stages map[string]float64) string {
 	return sb.String()
 }
 
+// TraceFileName maps a scenario name to the file its captured
+// timeline lands in: path separators and "=" become filename-safe, so
+// "e2e/bin/size=200k/workers=4" → "e2e_bin_size-200k_workers-4.trace.json".
+func TraceFileName(scenario string) string {
+	r := strings.NewReplacer("/", "_", "=", "-")
+	return r.Replace(scenario) + ".trace.json"
+}
+
+// captureTrace runs op once against a fresh engine built from cfg with
+// a span recorder attached, and writes the resulting timeline as a
+// Chrome trace-event file under dir. The engine is rebuilt rather than
+// reused because a Tracer records exactly one job.
+func captureTrace(dir, scenario string, cfg engine.Config, op func(*engine.Engine) error) (string, error) {
+	tra := obs.NewTracer(scenario, 0, obs.TraceContext{})
+	cfg.Trace = tra
+	if err := op(engine.New(cfg)); err != nil {
+		return "", fmt.Errorf("bench: trace capture %s: %w", scenario, err)
+	}
+	path := filepath.Join(dir, TraceFileName(scenario))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := obs.WriteChromeTrace(f, tra.Finish()); err != nil {
+		f.Close()
+		return "", fmt.Errorf("bench: trace capture %s: %w", scenario, err)
+	}
+	return path, f.Close()
+}
+
 // Run executes the suite and assembles the report.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
@@ -245,6 +284,17 @@ func Run(opts Options) (*Report, error) {
 		if len(r.Stages) > 0 {
 			logf("%s", stageLine(r.Stages))
 		}
+	}
+	capture := func(name string, cfg engine.Config, op func(*engine.Engine) error) error {
+		if opts.TraceDir == "" {
+			return nil
+		}
+		path, err := captureTrace(opts.TraceDir, name, cfg, op)
+		if err != nil {
+			return err
+		}
+		logf("    trace: %s", path)
+		return nil
 	}
 
 	workers := dedupWorkers(opts.Workers)
@@ -362,6 +412,13 @@ func Run(opts Options) (*Report, error) {
 						}
 					}
 				}))
+			if err := capture(fmt.Sprintf("reconstruct/size=%s/workers=%d", sz, w),
+				engine.Config{Workers: w}, func(te *engine.Engine) error {
+					_, _, err := te.Reconstruct(tr)
+					return err
+				}); err != nil {
+				return nil, err
+			}
 
 			// End-to-end decode → shard → encode. At workers > 1 the
 			// decode side runs on the segmented parallel decoder, the
@@ -401,6 +458,33 @@ func Run(opts Options) (*Report, error) {
 			}
 			add(measureStaged(em, fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w, e2e("bin", binData)))
 			add(measureStaged(em, fmt.Sprintf("e2e/csv/size=%s/workers=%d", sz, w), reqs, int64(len(csvData)), w, e2e("csv", csvData)))
+			e2eOnce := func(format string, data []byte) func(*engine.Engine) error {
+				return func(te *engine.Engine) error {
+					var (
+						dec trace.Decoder
+						pd  *trace.ParallelDecoder
+					)
+					if w > 1 {
+						pd = trace.NewParallelDecoder(bytes.NewReader(data), int64(len(data)), format, w)
+						dec = pd
+					} else {
+						sd, err := trace.NewDecoder(format, bytes.NewReader(data))
+						if err != nil {
+							return err
+						}
+						dec = sd
+					}
+					_, err := te.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
+					if pd != nil {
+						pd.Close()
+					}
+					return err
+				}
+			}
+			if err := capture(fmt.Sprintf("e2e/bin/size=%s/workers=%d", sz, w),
+				engine.Config{Workers: w}, e2eOnce("bin", binData)); err != nil {
+				return nil, err
+			}
 
 			// HDD target: the epoch-pipelined snapshot/handoff path (the
 			// constrained device the paper's co-evaluation measures).
@@ -444,6 +528,25 @@ func Run(opts Options) (*Report, error) {
 						}
 					}
 				}))
+			hddCfg := engine.Config{
+				Workers: w,
+				Device:  func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) },
+			}
+			if err := capture(fmt.Sprintf("reconstruct-hdd/size=%s/workers=%d", sz, w),
+				hddCfg, func(te *engine.Engine) error {
+					_, _, err := te.Reconstruct(tr)
+					return err
+				}); err != nil {
+				return nil, err
+			}
+			if err := capture(fmt.Sprintf("e2e-hdd/csv/size=%s/workers=%d", sz, w),
+				hddCfg, func(te *engine.Engine) error {
+					dec := trace.NewBinaryDecoder(bytes.NewReader(binData))
+					_, err := te.ReconstructStream(dec, trace.NewCSVEncoder(io.Discard), nil)
+					return err
+				}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	rep.PeakRSSBytes = readPeakRSS()

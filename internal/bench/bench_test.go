@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -309,6 +311,55 @@ func TestRunSmokeParallelScenarios(t *testing.T) {
 		}
 		if r.ReqPerSec <= 0 || r.Requests != 2000 {
 			t.Fatalf("scenario %s: implausible result %+v", n, r)
+		}
+	}
+}
+
+func TestTraceFileName(t *testing.T) {
+	got := TraceFileName("e2e/bin/size=200k/workers=4")
+	if got != "e2e_bin_size-200k_workers-4.trace.json" {
+		t.Fatalf("TraceFileName = %q", got)
+	}
+}
+
+// TestRunTraceCapture runs the suite with TraceDir set and checks one
+// valid Chrome trace-event file lands per engine scenario.
+func TestRunTraceCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is seconds-long")
+	}
+	dir := t.TempDir()
+	_, err := Run(Options{Sizes: []int{2000}, Workers: []int{1}, Quick: true, TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scenario := range []string{
+		"reconstruct/size=2k/workers=1",
+		"e2e/bin/size=2k/workers=1",
+		"reconstruct-hdd/size=2k/workers=1",
+		"e2e-hdd/csv/size=2k/workers=1",
+	} {
+		path := filepath.Join(dir, TraceFileName(scenario))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", scenario, err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s is not trace-event JSON: %v", path, err)
+		}
+		spans := 0
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				spans++
+			}
+		}
+		if spans < 3 {
+			t.Fatalf("%s has %d spans, want a full timeline", path, spans)
 		}
 	}
 }

@@ -102,7 +102,11 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 		return nil, false, err
 	}
 	key := CacheKey(inputDigest, spec)
-	if path, note, ok := cache.LookupResult(key); ok {
+	lsp := cfg.Trace.Start(cfg.Trace.Root(), "cache-lookup")
+	path, note, ok := cache.LookupResult(key)
+	lsp.SetAttr("hit", boolAttr(ok))
+	lsp.End()
+	if ok {
 		if cfg.Metrics != nil {
 			cfg.Metrics.CacheHits.Inc()
 		}
@@ -125,7 +129,7 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 	if err != nil {
 		return nil, false, err
 	}
-	note, err := json.Marshal(cacheNote{Spec: spec, Report: res.Report})
+	note, err = json.Marshal(cacheNote{Spec: spec, Report: res.Report})
 	if err != nil {
 		return nil, false, err
 	}
@@ -141,7 +145,9 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 		_, err = io.Copy(w, f)
 		return err
 	}
-	path, err := cache.StoreResult(key, inputDigest, note, fill)
+	ssp := cfg.Trace.Start(cfg.Trace.Root(), "cache-store")
+	path, err = cache.StoreResult(key, inputDigest, note, fill)
+	ssp.End()
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: job succeeded but caching its result failed: %w", err)
 	}
@@ -152,6 +158,13 @@ func RunJobCached(cfg Config, spec JobSpec, inputDigest string, cache ResultCach
 		res.OutPath = path
 	}
 	return res, false, nil
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // copyFileAtomic lands a copy of src at dst via the engine's partial

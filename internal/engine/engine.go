@@ -79,6 +79,11 @@ type Config struct {
 	// default) disables instrumentation entirely: the executors take a
 	// per-shard nil check and the per-request paths are untouched.
 	Metrics *obs.EngineMetrics
+	// Trace, when non-nil, records this run's span tree — plan span,
+	// sampled epoch spans with per-stage children — under the tracer's
+	// root. nil (the default) disables tracing at nil-check cost, the
+	// same discipline as Metrics.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -23,6 +23,9 @@ var errAborted = errors.New("engine: run aborted by output error")
 type shardResult struct {
 	index int
 	reqs  []trace.Request
+	// span is the shard's epoch span, carried through so the merge
+	// loop can time its merge child and close the epoch.
+	span obs.Span
 	// end is the completion time of the shard's last instruction,
 	// relative to the shard base: the next shard's base increment.
 	end time.Duration
@@ -87,19 +90,24 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 	if mtr != nil {
 		t0 = time.Now()
 	}
+	dsp := s.span.Child("decompose")
 	infer.DecomposeShardInto(idle, async, m, s.reqs, ctx)
+	dsp.End()
 	if mtr != nil {
 		t1 := time.Now()
 		mtr.StageAdd(obs.StageDecompose, t1.Sub(t0))
 		t0 = t1
 	}
+	esp := s.span.Child("emulate")
 	end = replay.EmulateShardInto(out, s.reqs, dev, idle)
+	esp.End()
 	if mtr != nil {
 		mtr.StageAdd(obs.StageEmulate, time.Since(t0))
 	}
 	res := shardResult{
 		index: s.index,
 		reqs:  out,
+		span:  s.span,
 		end:   end,
 	}
 	if !e.cfg.Core.SkipPostProcess {
@@ -269,6 +277,7 @@ func (p *bufPool) putBytes(b []byte) {
 func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, emit func(res shardResult, offset time.Duration) error, pool *bufPool) error {
 	workers := e.cfg.Workers
 	mtr := e.cfg.Metrics
+	tra := e.cfg.Trace
 	shardCh := make(chan shard, workers)
 	results := make(chan shardResult, workers)
 	tokens := make(chan struct{}, 4*workers)
@@ -282,12 +291,14 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 		// backpressure, not planning).
 		var planStart time.Time
 		var tokenWait time.Duration
-		if mtr != nil {
+		timed := mtr != nil || tra != nil
+		if timed {
 			planStart = time.Now()
 		}
+		psp := tra.Start(tra.Root(), "plan")
 		produceErr = produce(func(s shard) error {
 			var w0 time.Time
-			if mtr != nil {
+			if timed {
 				w0 = time.Now()
 			}
 			select {
@@ -295,12 +306,16 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			case <-stop:
 				return errAborted
 			}
-			if mtr != nil {
+			if timed {
 				tokenWait += time.Since(w0)
+			}
+			if mtr != nil {
 				mtr.EpochsInFlight.Inc()
 				mtr.StageEpochs[obs.StagePlan].Inc()
 				mtr.QueuePush(obs.StageDecompose)
 			}
+			s.span = tra.StartEpoch(tra.Root(), s.index)
+			s.span.SetAttr("requests", int64(len(s.reqs)))
 			select {
 			case shardCh <- s:
 			case <-stop:
@@ -308,6 +323,8 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 			}
 			return nil
 		})
+		psp.SetAttr("token_wait_ns", int64(tokenWait))
+		psp.End()
 		if mtr != nil {
 			mtr.TokenWaitNanos.Add(int64(tokenWait))
 			mtr.StageNanos[obs.StagePlan].Add(int64(time.Since(planStart) - tokenWait))
@@ -357,16 +374,19 @@ func (e *Engine) execute(produce func(submit func(shard) error) error, m *infer.
 				if mtr != nil {
 					m0 = time.Now()
 				}
+				msp := r.span.Child("merge")
 				if err := emit(r, base-shift); err != nil {
 					emitErr = err
 					close(stop)
 				}
+				msp.End()
 				if mtr != nil {
 					mtr.StageAdd(obs.StageMerge, time.Since(m0))
 					mtr.Epochs.Inc()
 					mtr.Requests.Add(int64(len(r.reqs)))
 				}
 			}
+			r.span.End()
 			if pool != nil && emitErr == nil {
 				// The requests are dead once emitted.
 				pool.putReqs(r.reqs)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -210,7 +211,9 @@ func RunJob(cfg Config, spec JobSpec) (*JobResult, error) {
 		return &JobResult{Report: rep, OutPath: spec.Out}, nil
 	}
 
+	dsp := cfg.Trace.Start(cfg.Trace.Root(), "decode")
 	old, err := readTraceFile(spec.In, spec.InFormat)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -221,14 +224,16 @@ func RunJob(cfg Config, spec JobSpec) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishJob(spec, result, reportFromCore(rep, int64(result.Len()), eng.cfg.Workers))
+	return finishJob(cfg.Trace, spec, result, reportFromCore(rep, int64(result.Len()), eng.cfg.Workers))
 }
 
 // runBaselineJob executes the non-engine comparison methods (always
 // in memory and sequential — they exist for fidelity comparisons, not
 // throughput).
 func runBaselineJob(cfg Config, spec JobSpec) (*JobResult, error) {
+	dsp := cfg.Trace.Start(cfg.Trace.Root(), "decode")
 	old, err := readTraceFile(spec.In, spec.InFormat)
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +241,7 @@ func runBaselineJob(cfg Config, spec JobSpec) (*JobResult, error) {
 		return nil, fmt.Errorf("input: %w", err)
 	}
 	var result *trace.Trace
+	rsp := cfg.Trace.Start(cfg.Trace.Root(), "reconstruct")
 	switch spec.Method {
 	case "fixed-th":
 		result = baseline.FixedTh(old, cfg.withDefaults().Device(), time.Duration(spec.ThresholdUS*float64(time.Microsecond)))
@@ -244,17 +250,20 @@ func runBaselineJob(cfg Config, spec JobSpec) (*JobResult, error) {
 	case "acceleration":
 		result = baseline.Acceleration(old, spec.Factor)
 	}
-	return finishJob(spec, result, nil)
+	rsp.End()
+	return finishJob(cfg.Trace, spec, result, nil)
 }
 
 // finishJob writes or retains the result per the spec.
-func finishJob(spec JobSpec, result *trace.Trace, rep *Report) (*JobResult, error) {
+func finishJob(tr *obs.Tracer, spec JobSpec, result *trace.Trace, rep *Report) (*JobResult, error) {
 	if spec.Out == "" {
 		return &JobResult{Report: rep, Trace: result}, nil
 	}
+	esp := tr.Start(tr.Root(), "encode")
 	err := writeAtomically(spec.Out, func(w io.Writer) error {
 		return writeTraceTo(w, spec.OutFormat, spec.FIODevice, result)
 	})
+	esp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -72,6 +72,8 @@ type pipeEpoch struct {
 type pipeResult struct {
 	index int
 	n     int
+	// span is the epoch span, carried to the merge loop (see shard).
+	span obs.Span
 	// reqs holds the epoch's output records, nil when they were already
 	// rendered into enc (the requests buffer is recycled eagerly then).
 	reqs []trace.Request
@@ -93,6 +95,7 @@ type pipeResult struct {
 func (e *Engine) executePipelined(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, se trace.ShardEncoder, emit func(pipeResult) error, pool *bufPool) error {
 	workers := e.cfg.Workers
 	mtr := e.cfg.Metrics
+	tra := e.cfg.Trace
 	inflight := 4 * workers
 	// Every stage channel holds the full in-flight budget, so no stage
 	// send can block: the token pool is the only backpressure point.
@@ -111,12 +114,14 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 		// minus token-pool stalls (downstream backpressure).
 		var planStart time.Time
 		var tokenWait time.Duration
-		if mtr != nil {
+		timed := mtr != nil || tra != nil
+		if timed {
 			planStart = time.Now()
 		}
+		psp := tra.Start(tra.Root(), "plan")
 		produceErr = produce(func(s shard) error {
 			var w0 time.Time
-			if mtr != nil {
+			if timed {
 				w0 = time.Now()
 			}
 			select {
@@ -124,15 +129,21 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 			case <-stop:
 				return errAborted
 			}
-			if mtr != nil {
+			if timed {
 				tokenWait += time.Since(w0)
+			}
+			if mtr != nil {
 				mtr.EpochsInFlight.Inc()
 				mtr.StageEpochs[obs.StagePlan].Inc()
 				mtr.QueuePush(obs.StageDecompose)
 			}
+			s.span = tra.StartEpoch(tra.Root(), s.index)
+			s.span.SetAttr("requests", int64(len(s.reqs)))
 			decCh <- pipeEpoch{s: s}
 			return nil
 		})
+		psp.SetAttr("token_wait_ns", int64(tokenWait))
+		psp.End()
 		if mtr != nil {
 			mtr.TokenWaitNanos.Add(int64(tokenWait))
 			mtr.StageNanos[obs.StagePlan].Add(int64(time.Since(planStart) - tokenWait))
@@ -216,6 +227,7 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 				if mtr != nil {
 					t0 = time.Now()
 				}
+				ssp := cur.s.span.Child("service")
 				cur.h = replay.Handoff{State: snap.Snapshot(), Now: now}
 				cur.shift = shift
 				var async []bool
@@ -225,6 +237,7 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 				var delta time.Duration
 				now, delta = replay.ServiceShard(cur.s.reqs, sdev, cur.idle, async, now)
 				shift += delta
+				ssp.End()
 				if mtr != nil {
 					mtr.StageAdd(obs.StageService, time.Since(t0))
 				}
@@ -252,16 +265,19 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 				if mtr != nil {
 					m0 = time.Now()
 				}
+				msp := r.span.Child("merge")
 				if err := emit(r); err != nil {
 					emitErr = err
 					close(stop)
 				}
+				msp.End()
 				if mtr != nil {
 					mtr.StageAdd(obs.StageMerge, time.Since(m0))
 					mtr.Epochs.Inc()
 					mtr.Requests.Add(int64(r.n))
 				}
 			}
+			r.span.End()
 			if pool != nil {
 				pool.putBytes(r.enc)
 				if emitErr == nil {
@@ -305,7 +321,9 @@ func (e *Engine) decomposeEpoch(ep *pipeEpoch, m *infer.Model, useRecorded bool,
 		ep.idle = pool.getDurs(n)
 		ep.async = pool.getFlags(n)
 	}
+	dsp := s.span.Child("decompose")
 	infer.DecomposeShardInto(ep.idle, ep.async, m, s.reqs, ctx)
+	dsp.End()
 	if pool != nil {
 		pool.putSeqs(s.seq)
 		s.seq = nil
@@ -323,6 +341,7 @@ func (e *Engine) runEpoch(ep *pipeEpoch, dev device.Device, se trace.ShardEncode
 		// decompose stage already consumed the original request data.
 		out = s.reqs
 	}
+	esp := s.span.Child("emulate")
 	replay.EmulateShardResume(out, s.reqs, dev, ep.idle, ep.h)
 	if !skipPost {
 		// The servicer accounted the same reductions when it computed
@@ -330,7 +349,10 @@ func (e *Engine) runEpoch(ep *pipeEpoch, dev device.Device, se trace.ShardEncode
 		// these arrivals final.
 		core.PostProcessShard(out, ep.async, ep.shift)
 	}
-	res := pipeResult{index: s.index, n: len(out), reqs: out}
+	// The span matches the emulate stage metric: it also covers the
+	// aggregation and (streaming) render below.
+	defer esp.End()
+	res := pipeResult{index: s.index, n: len(out), span: s.span, reqs: out}
 	for _, d := range ep.idle {
 		if d > 0 {
 			res.idleCount++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -22,6 +23,12 @@ type shard struct {
 
 	hasNext     bool
 	nextArrival time.Duration
+
+	// span is the shard's epoch span, attached by the executor's
+	// submit wrapper when tracing is on (the zero Span otherwise). The
+	// per-stage children hang off it as the shard moves through the
+	// pipeline; the merge loop ends it.
+	span obs.Span
 
 	// dst, when set, points at this shard's slot in the merged output
 	// (and dstIdle/dstAsync at the report slots): the executor writes

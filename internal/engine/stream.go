@@ -248,7 +248,9 @@ func reportFromCore(rep *core.Report, requests int64, workers int) *Report {
 // the engine's worker count via the segmented parallel decoder when
 // the input file is large enough to split.
 func (e *Engine) ReconstructPath(inPath, informat string, reorderWindow int, enc trace.Encoder) (*Report, error) {
+	fsp := e.cfg.Trace.Start(e.cfg.Trace.Root(), "fit")
 	m, err := e.fitModelFromPath(inPath, informat, reorderWindow)
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -43,11 +43,15 @@ func allocBenchTrace(n int) *trace.Trace {
 }
 
 // TestStreamReconstructAllocBound locks the amortized allocation cost
-// of ReconstructStream on the recorded-latency path — both with
-// instrumentation disabled (the nil Config.Metrics hook must leave the
-// hot path untouched) and with a live metrics registry attached (the
-// instrumentation itself must be allocation-free: atomic updates on
-// pre-registered metrics only).
+// of ReconstructStream on the recorded-latency path — with
+// instrumentation disabled (the nil Config.Metrics and Config.Trace
+// hooks must leave the hot path untouched), with a live metrics
+// registry attached, and with both metrics and a span recorder on.
+// The instrumentation itself must be allocation-free: atomic updates
+// on pre-registered metrics, and spans appended into the Tracer's
+// fixed preallocated buffer — so every configuration shares the same
+// 0.05 allocs/request bound (the fixed per-run setup amortized over
+// the request count).
 func TestStreamReconstructAllocBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting at full trace size")
@@ -62,13 +66,17 @@ func TestStreamReconstructAllocBound(t *testing.T) {
 	cases := []struct {
 		name    string
 		metrics *obs.EngineMetrics
+		tracer  *obs.Tracer
 	}{
-		{"metrics-disabled", nil},
-		{"metrics-enabled", obs.NewEngineMetrics(obs.NewRegistry())},
+		{"hooks-disabled", nil, nil},
+		{"metrics-enabled", obs.NewEngineMetrics(obs.NewRegistry()), nil},
+		{"metrics-and-tracer-enabled",
+			obs.NewEngineMetrics(obs.NewRegistry()),
+			obs.NewTracer("allocbound", 0, obs.TraceContext{})},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			eng := New(Config{Workers: 2, MaxShardRequests: 4096, Metrics: tc.metrics})
+			eng := New(Config{Workers: 2, MaxShardRequests: 4096, Metrics: tc.metrics, Trace: tc.tracer})
 			run := func() {
 				dec := trace.NewBinaryDecoder(bytes.NewReader(data))
 				rep, err := eng.ReconstructStream(dec, trace.NewBinaryEncoder(io.Discard), nil)
@@ -99,6 +107,14 @@ func TestStreamReconstructAllocBound(t *testing.T) {
 				secs := tc.metrics.StageSeconds()
 				if secs["decompose"] <= 0 || secs["emulate"] <= 0 || secs["merge"] <= 0 {
 					t.Fatalf("stage seconds not recorded: %v", secs)
+				}
+			}
+			if tc.tracer != nil {
+				// The bound must hold while spans are actually recorded,
+				// not because the buffer silently filled on warmup.
+				jt := tc.tracer.Snapshot()
+				if len(jt.Spans) < 3 {
+					t.Fatalf("tracer recorded %d spans, want the run's plan and epoch spans", len(jt.Spans))
 				}
 			}
 		})

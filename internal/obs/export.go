@@ -1,0 +1,172 @@
+package obs
+
+// Chrome trace-event export: renders a JobTrace as the JSON Array
+// Format that chrome://tracing and https://ui.perfetto.dev open
+// directly. Spans become complete ("X") events; concurrent top-level
+// spans (epochs in flight together) are packed onto separate lanes
+// (tids) by greedy interval coloring so overlapping work displays
+// side by side, while each span's descendants inherit its lane and
+// nest inside it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace-event record. Field order is fixed by the
+// struct (and map keys marshal sorted), so output is deterministic —
+// the golden fixtures depend on that.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds
+	Dur  float64          `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata ("M") event naming the process or a lane.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace writes jt in the Chrome trace-event JSON Array
+// Format. The result is a complete JSON object ({"traceEvents": [...]})
+// that loads in Perfetto as-is.
+func WriteChromeTrace(w io.Writer, jt *JobTrace) error {
+	if jt == nil || len(jt.Spans) == 0 {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+
+	lanes := assignLanes(jt)
+	maxLane := 0
+	for _, l := range lanes {
+		if l > maxLane {
+			maxLane = l
+		}
+	}
+
+	events := make([]json.RawMessage, 0, len(jt.Spans)+maxLane+2)
+	add := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, b)
+		return nil
+	}
+
+	if err := add(chromeMeta{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]string{"name": jt.Name},
+	}); err != nil {
+		return err
+	}
+	for lane := 0; lane <= maxLane; lane++ {
+		name := "job"
+		if lane > 0 {
+			name = fmt.Sprintf("lane %d", lane)
+		}
+		if err := add(chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+			Args: map[string]string{"name": name},
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Spans in start order: stable, and viewers prefer sorted ts.
+	order := make([]int, len(jt.Spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jt.Spans[order[a]].StartNS < jt.Spans[order[b]].StartNS
+	})
+	for _, i := range order {
+		s := jt.Spans[i]
+		if err := add(chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.EndNS-s.StartNS) / 1e3,
+			Pid:  1,
+			Tid:  lanes[s.ID],
+			Args: s.Attrs,
+		}); err != nil {
+			return err
+		}
+	}
+
+	out := struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Meta        map[string]string `json:"otherData"`
+	}{
+		TraceEvents: events,
+		Meta:        map[string]string{"trace_id": jt.TraceID, "name": jt.Name},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// assignLanes maps span IDs to display lanes. The root span gets lane
+// 0; its direct children are greedily packed onto the fewest lanes
+// (starting at 1) such that no two overlapping spans share one;
+// deeper descendants inherit their top-level ancestor's lane so
+// nesting renders inside it.
+func assignLanes(jt *JobTrace) map[string]int {
+	lanes := make(map[string]int, len(jt.Spans))
+	rootID := jt.Spans[0].ID
+	lanes[rootID] = 0
+
+	// Top-level spans, in start order, onto the first free lane.
+	type iv struct {
+		id         string
+		start, end int64
+	}
+	var top []iv
+	for _, s := range jt.Spans {
+		if s.Parent == rootID {
+			top = append(top, iv{s.ID, s.StartNS, s.EndNS})
+		}
+	}
+	sort.SliceStable(top, func(a, b int) bool { return top[a].start < top[b].start })
+	var laneEnd []int64 // index = lane-1
+	for _, t := range top {
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= t.start {
+				lane = i
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = t.end
+		lanes[t.id] = lane + 1
+	}
+
+	// Descendants inherit. Spans are recorded parent-before-child, so
+	// one forward pass resolves every depth.
+	for _, s := range jt.Spans {
+		if _, done := lanes[s.ID]; done {
+			continue
+		}
+		if l, ok := lanes[s.Parent]; ok {
+			lanes[s.ID] = l
+		} else {
+			lanes[s.ID] = 0
+		}
+	}
+	return lanes
+}

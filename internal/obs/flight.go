@@ -1,0 +1,105 @@
+package obs
+
+// FlightRecorder is the daemon's bounded ring of recent job
+// timelines: finished (or failed) jobs park their JobTrace here until
+// capacity evicts them, oldest first. Lookups are by job ID. The
+// bound is on timeline count — each timeline is itself O(tracer
+// capacity) — so daemon memory stays O(ring * cap) no matter how many
+// jobs run.
+
+import "sync"
+
+// DefaultFlightRecorderCapacity is the daemon default for -trace-ring.
+const DefaultFlightRecorderCapacity = 256
+
+// FlightRecorder holds the most recent job timelines, keyed by job
+// ID. Safe for concurrent use.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	order   []string // insertion order, oldest first
+	byID    map[string]*JobTrace
+	evicted int64
+	counter *Counter // optional eviction metric
+}
+
+// NewFlightRecorder returns a recorder keeping at most capacity
+// timelines (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{cap: capacity, byID: make(map[string]*JobTrace)}
+}
+
+// SetEvictionCounter wires a registry counter that ticks once per
+// evicted timeline.
+func (f *FlightRecorder) SetEvictionCounter(c *Counter) {
+	f.mu.Lock()
+	f.counter = c
+	f.mu.Unlock()
+}
+
+// SetCapacity resizes the ring, evicting oldest entries if it
+// shrinks below the current population.
+func (f *FlightRecorder) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	f.mu.Lock()
+	f.cap = capacity
+	f.evictLocked()
+	f.mu.Unlock()
+}
+
+// Add parks a timeline. Re-adding an existing job ID replaces its
+// timeline in place (replays) without consuming a second slot.
+func (f *FlightRecorder) Add(id string, jt *JobTrace) {
+	if jt == nil {
+		return
+	}
+	f.mu.Lock()
+	if _, ok := f.byID[id]; !ok {
+		f.order = append(f.order, id)
+	}
+	f.byID[id] = jt
+	f.evictLocked()
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) evictLocked() {
+	for len(f.order) > f.cap {
+		victim := f.order[0]
+		f.order = f.order[1:]
+		delete(f.byID, victim)
+		f.evicted++
+		if f.counter != nil {
+			f.counter.Inc()
+		}
+	}
+}
+
+// Get returns the timeline for a job ID, or (nil, false) if it was
+// never recorded or has been evicted.
+func (f *FlightRecorder) Get(id string) (*JobTrace, bool) {
+	f.mu.Lock()
+	jt, ok := f.byID[id]
+	f.mu.Unlock()
+	return jt, ok
+}
+
+// Len returns the number of timelines currently held.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	n := len(f.order)
+	f.mu.Unlock()
+	return n
+}
+
+// Evictions returns the total timelines evicted since creation.
+func (f *FlightRecorder) Evictions() int64 {
+	f.mu.Lock()
+	n := f.evicted
+	f.mu.Unlock()
+	return n
+}

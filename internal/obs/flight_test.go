@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func flightTrace(name string) *JobTrace {
+	return &JobTrace{Name: name, Spans: []SpanOut{{ID: "1", Name: name}}}
+}
+
+// TestFlightRecorderEviction proves the memory bound: the ring never
+// holds more than its capacity, evicts oldest first, and counts every
+// eviction on the wired metric.
+func TestFlightRecorderEviction(t *testing.T) {
+	reg := NewRegistry()
+	evictions := reg.Counter("evictions_total", "test", nil)
+	f := NewFlightRecorder(3)
+	f.SetEvictionCounter(evictions)
+
+	for i := 0; i < 5; i++ {
+		f.Add(fmt.Sprintf("job-%d", i), flightTrace(fmt.Sprintf("t%d", i)))
+	}
+	if f.Len() != 3 {
+		t.Fatalf("ring holds %d timelines, capacity 3", f.Len())
+	}
+	if f.Evictions() != 2 || evictions.Value() != 2 {
+		t.Fatalf("evictions: recorder %d, counter %d, want 2", f.Evictions(), evictions.Value())
+	}
+	for _, gone := range []string{"job-0", "job-1"} {
+		if _, ok := f.Get(gone); ok {
+			t.Fatalf("oldest entry %s survived eviction", gone)
+		}
+	}
+	for _, kept := range []string{"job-2", "job-3", "job-4"} {
+		if _, ok := f.Get(kept); !ok {
+			t.Fatalf("recent entry %s evicted", kept)
+		}
+	}
+
+	// Replacing an existing ID (a cache-replayed job re-finishing)
+	// must not consume a second slot or evict anything.
+	f.Add("job-3", flightTrace("t3-replayed"))
+	if f.Len() != 3 || f.Evictions() != 2 {
+		t.Fatalf("replace-in-place evicted: len %d, evictions %d", f.Len(), f.Evictions())
+	}
+	if jt, _ := f.Get("job-3"); jt.Name != "t3-replayed" {
+		t.Fatalf("replace kept the old timeline: %s", jt.Name)
+	}
+
+	// Shrinking the ring evicts down to the new bound.
+	f.SetCapacity(1)
+	if f.Len() != 1 || f.Evictions() != 4 {
+		t.Fatalf("after shrink: len %d, evictions %d", f.Len(), f.Evictions())
+	}
+	if _, ok := f.Get("job-4"); !ok {
+		t.Fatal("newest entry evicted by shrink")
+	}
+
+	// A nil timeline is ignored rather than stored.
+	f.Add("job-nil", nil)
+	if _, ok := f.Get("job-nil"); ok {
+		t.Fatal("nil timeline stored")
+	}
+}

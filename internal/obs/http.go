@@ -57,6 +57,7 @@ type ctxKey int
 const (
 	ctxKeyRequestID ctxKey = iota
 	ctxKeyLogger
+	ctxKeyTrace
 )
 
 // reqIDPrefix makes request IDs unique across daemon restarts without
@@ -82,6 +83,15 @@ func nextRequestID() string {
 func RequestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(ctxKeyRequestID).(string)
 	return id
+}
+
+// TraceContextFrom returns the W3C trace position the middleware
+// bound to the request — the incoming traceparent when the client
+// sent a valid one, else the one minted for the response. Zero
+// outside an instrumented request.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(ctxKeyTrace).(TraceContext)
+	return tc
 }
 
 // LoggerFrom returns the per-request logger (request ID pre-bound),
@@ -159,6 +169,11 @@ func (hm *HTTPMetrics) observe(route string, status int, d time.Duration) {
 // an X-Request-ID header; handlers retrieve the bound logger with
 // LoggerFrom(r.Context()).
 //
+// W3C trace context: a valid incoming traceparent header is accepted
+// and echoed back; otherwise a fresh trace position is minted and
+// echoed, so every response names the trace the server filed the
+// request under. Handlers read it with TraceContextFrom.
+//
 // Completion log levels: 5xx at Error, 4xx at Warn, health and
 // metrics scrapes at Debug (they would otherwise dominate the log at
 // any scrape interval), everything else at Info.
@@ -166,10 +181,16 @@ func Middleware(log *slog.Logger, hm *HTTPMetrics, next http.Handler) http.Handl
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := nextRequestID()
-		reqLog := log.With("request_id", id)
+		tc, ok := ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tc = NewTraceContext()
+		}
+		reqLog := log.With("request_id", id, "trace_id", tc.TraceID)
 		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
 		ctx = context.WithValue(ctx, ctxKeyLogger, reqLog)
+		ctx = context.WithValue(ctx, ctxKeyTrace, tc)
 		w.Header().Set("X-Request-ID", id)
+		w.Header().Set("Traceparent", tc.Traceparent())
 		sw := &statusWriter{ResponseWriter: w}
 		if hm != nil {
 			hm.inFlight.Inc()

@@ -94,3 +94,83 @@ func TestRequestIDsDistinct(t *testing.T) {
 		t.Fatalf("request ids collide: %s", a)
 	}
 }
+
+// TestMiddlewareUnmatchedRoute is the cardinality regression test for
+// the "unmatched" bucket: requests matching no mux pattern — probe
+// paths, typos, non-mux handlers — must aggregate under one
+// route="unmatched" label, never mint per-path series.
+func TestMiddlewareUnmatchedRoute(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg, "t")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /real", func(w http.ResponseWriter, r *http.Request) {})
+	h := Middleware(NopLogger(), hm, mux)
+
+	for _, path := range []string{"/nope", "/admin.php", "/nope/deeper", "/.env"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, rr.Code)
+		}
+	}
+	// A handler that is not a ServeMux never sets r.Pattern; those
+	// requests land in the same bucket instead of an empty label.
+	plain := Middleware(NopLogger(), hm, http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusTeapot) }))
+	plain.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/whatever", nil))
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`t_requests_total{code="404",route="unmatched"} 4`,
+		`t_requests_total{code="418",route="unmatched"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	for _, leak := range []string{"/nope", "/admin.php", "/.env", "/whatever", `route=""`} {
+		if strings.Contains(out, leak) {
+			t.Errorf("per-path label leaked into metrics (%q):\n%s", leak, out)
+		}
+	}
+}
+
+func TestMiddlewareTraceparent(t *testing.T) {
+	var got TraceContext
+	h := Middleware(NopLogger(), nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = TraceContextFrom(r.Context())
+	}))
+
+	// A valid incoming traceparent is bound to the request and echoed.
+	incoming := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Traceparent", incoming)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if got.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("handler saw trace context %+v", got)
+	}
+	if echo := rr.Header().Get("Traceparent"); echo != incoming {
+		t.Fatalf("traceparent echo: %q, want %q", echo, incoming)
+	}
+
+	// No (or malformed) traceparent: a fresh valid one is minted.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Traceparent", "garbage")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	minted, ok := ParseTraceparent(rr.Header().Get("Traceparent"))
+	if !ok {
+		t.Fatalf("minted traceparent invalid: %q", rr.Header().Get("Traceparent"))
+	}
+	if minted != got {
+		t.Fatalf("response traceparent %+v != handler context %+v", minted, got)
+	}
+	if minted.TraceID == "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatal("malformed traceparent adopted instead of replaced")
+	}
+}

@@ -216,6 +216,16 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 	})
 }
 
+// CounterFunc registers a counter computed at scrape time by fn — for
+// monotone totals the runtime already accumulates (GC pause time)
+// where mirroring into a Counter would need a poller. fn must be
+// monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.getOrCreate(name, help, "counter", 1, labels, func() *metric {
+		return &metric{fn: fn}
+	})
+}
+
 // Histogram registers (or finds) a fixed-bucket histogram with the
 // given upper bounds (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {

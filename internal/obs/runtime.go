@@ -1,0 +1,48 @@
+package obs
+
+// Go runtime health gauges for the daemon registry: goroutine count,
+// heap size, cumulative GC pause and GOMAXPROCS, evaluated at scrape
+// time. ReadMemStats stops the world, so its snapshot is cached
+// briefly — one scrape reads one snapshot regardless of how many
+// series consult it, and scrape storms can't turn into GC-pause
+// storms.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache serves runtime.MemStats snapshots no older than ttl.
+type memStatsCache struct {
+	mu   sync.Mutex
+	ttl  time.Duration
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return &c.stat
+}
+
+// RegisterRuntimeMetrics registers Go runtime series on r:
+// go_goroutines, go_memstats_heap_alloc_bytes,
+// go_gc_pause_seconds_total and go_gomaxprocs. Values are computed at
+// scrape time; registration is idempotent like every registry call.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{ttl: 100 * time.Millisecond}
+	r.GaugeFunc("go_goroutines", "Goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Heap bytes allocated and still in use.", nil,
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS: OS threads executing Go code simultaneously.", nil,
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,438 @@
+package obs
+
+// Per-job span tracing: a lock-cheap recorder in the same nil-safe
+// hook idiom as EngineMetrics. A Tracer collects a bounded tree of
+// spans (monotonic start/end, parent links, a small inline attribute
+// set) for one job; components receive it through config pointers and
+// call Start/Child/End without caring whether tracing is on. Every
+// method tolerates a nil *Tracer and the zero Span, so the disabled
+// path costs a nil check and no time.Now.
+//
+// Memory is hard-bounded: the span buffer is allocated once at
+// capacity and never grows, so a 100k-epoch job records O(cap) spans.
+// Epoch spans go through StartEpoch, which samples — every stride-th
+// epoch is recorded, and the stride doubles as the buffer fills — so
+// early, middle and late epochs all survive in a long job. Children
+// of an unsampled epoch get the zero Span and record nothing.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceContext is a position in a W3C trace: the 16-byte trace ID and
+// 8-byte span ID as lowercase hex. The zero value means "no incoming
+// trace".
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars, not all zero
+	SpanID  string // 16 lowercase hex chars, not all zero
+}
+
+// Valid reports whether tc carries a usable trace ID.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the W3C traceparent header value
+// (version 00, sampled flag set).
+func (tc TraceContext) Traceparent() string {
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Unknown
+// versions with the version-00 shape are accepted (per spec); all-zero
+// IDs and malformed values are rejected.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID := s[:2], s[3:35], s[36:52]
+	if !isHexID(version, 2) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if len(s) > 55 && (version == "00" || s[55] != '-') {
+		return TraceContext{}, false
+	}
+	if !isHexID(s[53:55], 2) {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: traceID, SpanID: spanID}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// isHexID reports whether s is exactly n lowercase hex chars and (for
+// ID fields) not all zero.
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return n == 2 || !zero
+}
+
+// NewTraceContext mints a fresh random trace position.
+func NewTraceContext() TraceContext {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion never happens on the platforms we run on,
+		// but an all-zero ID would be invalid per spec.
+		b[0], b[16] = 1, 1
+	}
+	return TraceContext{
+		TraceID: hex.EncodeToString(b[:16]),
+		SpanID:  hex.EncodeToString(b[16:]),
+	}
+}
+
+// Attr is one span attribute. Values are int64 — counts, indexes,
+// nanosecond durations — so recording one never allocates.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// spanRec is the recorded form of a span. Records live in the
+// Tracer's fixed-capacity slice; Span handles hold stable pointers
+// into its backing array (the slice is never appended past capacity).
+type spanRec struct {
+	id     uint64
+	parent uint64 // 0 = no parent (the root span)
+	name   string
+	start  int64 // ns since Tracer start
+	end    int64 // 0 while open
+	nattrs int32
+	attrs  [4]Attr
+}
+
+// Span is a handle to one recorded span. The zero value is a no-op:
+// every method is safe and free on it, which is how unsampled epochs
+// and disabled tracers cost nothing downstream.
+type Span struct {
+	t   *Tracer
+	rec *spanRec
+}
+
+// Recorded reports whether the span is actually being recorded.
+func (s Span) Recorded() bool { return s.t != nil }
+
+// Child starts a span parented under s, no-op if s is.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.Start(s, name)
+}
+
+// End closes the span at the current time. Idempotent: the first End
+// wins, so a deferred safety End after an explicit one is harmless.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := int64(time.Since(s.t.start))
+	s.t.mu.Lock()
+	if s.rec.end == 0 {
+		s.rec.end = now
+	}
+	s.t.mu.Unlock()
+}
+
+// SetAttr attaches a key/value pair. Spans carry a small fixed attr
+// set; pairs beyond it are dropped.
+func (s Span) SetAttr(key string, v int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if int(s.rec.nattrs) < len(s.rec.attrs) {
+		s.rec.attrs[s.rec.nattrs] = Attr{Key: key, Val: v}
+		s.rec.nattrs++
+	}
+	s.t.mu.Unlock()
+}
+
+// DefaultTracerCapacity bounds a job's span count when the caller
+// doesn't choose: enough for the full fixed stages plus a few
+// thousand sampled epochs.
+const DefaultTracerCapacity = 4096
+
+// epochReserve is the headroom StartEpoch demands before recording an
+// epoch, so the epoch's per-stage children (decompose, service,
+// emulate, merge) still fit in the buffer after the epoch span does.
+const epochReserve = 8
+
+// Tracer records one job's span tree. Create with NewTracer, hand to
+// the engine/daemon via config pointers, then Finish for the
+// exportable tree. All methods are safe on a nil receiver (recording
+// disabled) and safe for concurrent use.
+type Tracer struct {
+	mu            sync.Mutex
+	ctx           TraceContext
+	parentSpan    string // incoming traceparent span ID, if any
+	name          string
+	start         time.Time
+	spans         []spanRec // cap fixed at construction; never reallocated
+	nextID        uint64
+	stride        int
+	droppedSpans  int64
+	droppedEpochs int64
+	root          Span
+}
+
+// NewTracer starts a trace for one job. capacity bounds the recorded
+// span count (<= 0 means DefaultTracerCapacity). If parent carries a
+// valid trace ID the job joins that trace (and when it also names a
+// span, the root span records it as its parent — a trace-ID-only
+// parent, e.g. one restored from a journal, just pins the trace ID);
+// otherwise a fresh trace ID is minted. The root span is open on
+// return; Finish closes it.
+func NewTracer(name string, capacity int, parent TraceContext) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	ctx := NewTraceContext()
+	parentSpan := ""
+	if isHexID(parent.TraceID, 32) {
+		ctx.TraceID = parent.TraceID
+		if isHexID(parent.SpanID, 16) {
+			parentSpan = parent.SpanID
+		}
+	}
+	t := &Tracer{
+		ctx:        ctx,
+		parentSpan: parentSpan,
+		name:       name,
+		start:      time.Now(),
+		spans:      make([]spanRec, 0, capacity),
+		stride:     1,
+	}
+	t.mu.Lock()
+	t.root = t.startLocked(Span{}, name)
+	t.mu.Unlock()
+	return t
+}
+
+// Context returns the trace position of the job's root span — what a
+// response traceparent should carry.
+func (t *Tracer) Context() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return t.ctx
+}
+
+// Root returns the job root span (the zero Span on a nil tracer).
+func (t *Tracer) Root() Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.root
+}
+
+// Start opens a span under parent (use Root() for top-level phases).
+// Returns the zero Span when the buffer is full or t is nil.
+func (t *Tracer) Start(parent Span, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	s := t.startLocked(parent, name)
+	t.mu.Unlock()
+	return s
+}
+
+func (t *Tracer) startLocked(parent Span, name string) Span {
+	if len(t.spans) == cap(t.spans) {
+		t.droppedSpans++
+		return Span{}
+	}
+	t.nextID++
+	var pid uint64
+	if parent.rec != nil {
+		pid = parent.rec.id
+	}
+	t.spans = append(t.spans, spanRec{
+		id:     t.nextID,
+		parent: pid,
+		name:   name,
+		start:  int64(time.Since(t.start)),
+	})
+	return Span{t: t, rec: &t.spans[len(t.spans)-1]}
+}
+
+// StartEpoch opens a sampled epoch span under parent, carrying the
+// epoch index as an attribute. Epochs are recorded every stride-th
+// index, and the stride doubles whenever the buffer passes 3/4 full,
+// so arbitrarily long jobs keep a spread of epochs within the fixed
+// capacity. Unsampled epochs return the zero Span — their per-stage
+// children then record nothing, at nil-check cost.
+func (t *Tracer) StartEpoch(parent Span, index int) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if index%t.stride != 0 || len(t.spans)+epochReserve > cap(t.spans) {
+		t.droppedEpochs++
+		return Span{}
+	}
+	if 4*len(t.spans) >= 3*cap(t.spans) {
+		t.stride *= 2
+	}
+	s := t.startLocked(parent, "epoch")
+	if s.rec != nil {
+		s.rec.attrs[0] = Attr{Key: "epoch", Val: int64(index)}
+		s.rec.nattrs = 1
+	}
+	return s
+}
+
+// Finish closes the root span and returns the exportable tree.
+// Safe to call on a nil tracer (returns nil).
+func (t *Tracer) Finish() *JobTrace {
+	if t == nil {
+		return nil
+	}
+	t.root.End()
+	return t.Snapshot()
+}
+
+// Snapshot renders the current span tree without closing anything —
+// open spans (the root included, before Finish) export with their
+// duration so far.
+func (t *Tracer) Snapshot() *JobTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := int64(time.Since(t.start))
+	jt := &JobTrace{
+		TraceID:       t.ctx.TraceID,
+		ParentSpanID:  t.parentSpan,
+		Name:          t.name,
+		Start:         t.start,
+		DroppedSpans:  t.droppedSpans,
+		DroppedEpochs: t.droppedEpochs,
+		Spans:         make([]SpanOut, len(t.spans)),
+	}
+	for i := range t.spans {
+		rec := &t.spans[i]
+		end := rec.end
+		if end == 0 {
+			end = now
+		}
+		out := SpanOut{
+			ID:      t.spanID(rec.id),
+			Name:    rec.name,
+			StartNS: rec.start,
+			EndNS:   end,
+		}
+		if rec.parent != 0 {
+			out.Parent = t.spanID(rec.parent)
+		}
+		if rec.nattrs > 0 {
+			out.Attrs = make(map[string]int64, rec.nattrs)
+			for _, a := range rec.attrs[:rec.nattrs] {
+				out.Attrs[a.Key] = a.Val
+			}
+		}
+		jt.Spans[i] = out
+	}
+	if len(jt.Spans) > 0 {
+		jt.DurationNS = jt.Spans[0].EndNS - jt.Spans[0].StartNS
+	}
+	return jt
+}
+
+// spanID renders a span's wire ID. The root span carries the trace
+// context's W3C span ID (so the echoed traceparent points at it);
+// descendants use their sequence number.
+func (t *Tracer) spanID(id uint64) string {
+	if id == 1 {
+		return t.ctx.SpanID
+	}
+	return fmt.Sprintf("%016x", id)
+}
+
+// JobTrace is one job's exported span tree: the JSON served by
+// GET /jobs/{id}/trace and the input to WriteChromeTrace.
+type JobTrace struct {
+	TraceID       string    `json:"trace_id"`
+	ParentSpanID  string    `json:"parent_span_id,omitempty"`
+	Name          string    `json:"name"`
+	Start         time.Time `json:"start"`
+	DurationNS    int64     `json:"duration_ns"`
+	DroppedSpans  int64     `json:"dropped_spans,omitempty"`
+	DroppedEpochs int64     `json:"dropped_epochs,omitempty"`
+	Spans         []SpanOut `json:"spans"`
+}
+
+// SpanOut is one span in the exported tree. Times are nanoseconds
+// relative to the trace start; the first span is always the job root.
+type SpanOut struct {
+	ID      string           `json:"id"`
+	Parent  string           `json:"parent,omitempty"`
+	Name    string           `json:"name"`
+	StartNS int64            `json:"start_ns"`
+	EndNS   int64            `json:"end_ns"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall time.
+func (s SpanOut) Duration() time.Duration {
+	return time.Duration(s.EndNS - s.StartNS)
+}
+
+// SlowestSpans returns the k longest non-root spans, longest first —
+// the payload of the daemon's slow-job log line.
+func (jt *JobTrace) SlowestSpans(k int) []SpanOut {
+	if jt == nil || len(jt.Spans) <= 1 || k <= 0 {
+		return nil
+	}
+	spans := make([]SpanOut, len(jt.Spans)-1)
+	copy(spans, jt.Spans[1:])
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].Duration() > spans[j].Duration()
+	})
+	if len(spans) > k {
+		spans = spans[:k]
+	}
+	return spans
+}
+
+// SummarizeSpans renders spans as "name dur; name dur" for log lines.
+func SummarizeSpans(spans []SpanOut) string {
+	var b []byte
+	for i, s := range spans {
+		if i > 0 {
+			b = append(b, "; "...)
+		}
+		b = append(b, s.Name...)
+		if v, ok := s.Attrs["epoch"]; ok {
+			b = append(b, fmt.Sprintf("[%d]", v)...)
+		}
+		b = append(b, ' ')
+		b = append(b, s.Duration().Round(time.Microsecond).String()...)
+	}
+	return string(b)
+}
