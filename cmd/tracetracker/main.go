@@ -50,7 +50,7 @@ func main() {
 	method := flag.String("method", "tracetracker",
 		`reconstruction method: "tracetracker", "dynamic", "fixed-th", "revision", "acceleration"`)
 	devName := flag.String("device", "new",
-		`reconstruction target: "new"/"array" (the paper's flash array), "ssd", or "old"/"hdd" (runs on the epoch-pipelined engine path at full -parallel)`)
+		`reconstruction target: "new"/"array" (the paper's flash array), "ssd", "old"/"hdd", "ftl" (page-mapped flash translation layer with GC), or "host"/"hoststack" (page cache + write-back over an HDD); hdd/ftl/host run on the epoch-pipelined engine path at full -parallel`)
 	factor := flag.Float64("factor", baseline.DefaultAccelerationFactor, "acceleration factor")
 	threshold := flag.Duration("threshold", baseline.DefaultFixedThreshold, "fixed-th idle threshold")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),

@@ -1,0 +1,354 @@
+package main
+
+// v1 API contract tests: the route table mounts everything under /v1
+// with working legacy aliases, every non-2xx response carries the
+// structured error envelope with its stable code, the device
+// catalogue matches validation, and job listing paginates with a
+// cursor that stays stable while new jobs arrive.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// errEnvelope decodes a response body as the error envelope, failing
+// the test if the shape is wrong.
+func errEnvelope(t *testing.T, body []byte) apiError {
+	t.Helper()
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("response is not an error envelope: %v\n%s", err, body)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", body)
+	}
+	return e.Error
+}
+
+// doReq issues method+path with an optional body and returns status
+// and body bytes.
+func doReq(t *testing.T, ts *httptest.Server, method, path, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// fillRoute substitutes concrete (unknown) values for path wildcards.
+func fillRoute(path string) string {
+	path = strings.ReplaceAll(path, "{id}", "job-999999")
+	path = strings.ReplaceAll(path, "{digest}", "ffffffffffff")
+	return path
+}
+
+// TestRouteContract is the CI route smoke (run by name, race-checked
+// in the workflow): it walks the daemon's own route table, so a route
+// cannot be added without being covered here. Every v1 route and
+// every legacy alias must be mounted (never falling through to the
+// catch-all 404), answer JSON, and on failure answer the structured
+// envelope; each legacy hit must count in daemon_legacy_requests_total.
+func TestRouteContract(t *testing.T) {
+	srv := dataServer(t, filepath.Join(t.TempDir(), "data"))
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	check := func(method, path string) {
+		t.Helper()
+		status, body := doReq(t, ts, method, path, "")
+		if status == http.StatusOK || status == http.StatusAccepted || status == http.StatusCreated {
+			return
+		}
+		env := errEnvelope(t, body)
+		if env.Code == "not_found" || env.Code == "method_not_allowed" {
+			t.Fatalf("%s %s fell through to the fallback handler: %s %s", method, path, env.Code, env.Message)
+		}
+	}
+	legacyHits := 0
+	for _, rt := range srv.routes() {
+		check(rt.method, "/v1"+fillRoute(rt.path))
+		if rt.legacy {
+			check(rt.method, fillRoute(rt.path))
+			legacyHits++
+		}
+	}
+	// Root-level operational endpoints.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if status, body := doReq(t, ts, http.MethodGet, path, ""); status != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, status, body)
+		}
+	}
+
+	// Wrong method on a known path: enveloped 405, not the mux default.
+	status, body := doReq(t, ts, http.MethodDelete, "/v1/jobs", "")
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/jobs: status %d, want 405", status)
+	}
+	if env := errEnvelope(t, body); env.Code != "method_not_allowed" {
+		t.Fatalf("405 envelope code %q", env.Code)
+	}
+	// Unknown path: enveloped 404.
+	status, body = doReq(t, ts, http.MethodGet, "/v2/jobs", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /v2/jobs: status %d, want 404", status)
+	}
+	if env := errEnvelope(t, body); env.Code != "not_found" {
+		t.Fatalf("404 envelope code %q", env.Code)
+	}
+	// /v1/devices is v1-only: no unversioned alias.
+	if status, body = doReq(t, ts, http.MethodGet, "/devices", ""); status != http.StatusNotFound {
+		t.Fatalf("GET /devices: status %d: %s (the catalogue is v1-only)", status, body)
+	}
+
+	// Every legacy request above landed in the alias counter.
+	_, metrics := doReq(t, ts, http.MethodGet, "/metrics", "")
+	samples, err := obs.ParseExposition(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range samples {
+		if s.Name == "daemon_legacy_requests_total" {
+			total += s.Value
+		}
+	}
+	if total != float64(legacyHits) {
+		t.Fatalf("daemon_legacy_requests_total = %v, want %d (one per alias hit)", total, legacyHits)
+	}
+}
+
+// TestErrorEnvelopes is the table-driven lock on the failure surface:
+// each error path answers its documented status and stable code, and
+// validation messages name the offending field.
+func TestErrorEnvelopes(t *testing.T) {
+	srv := dataServer(t, filepath.Join(t.TempDir(), "data"))
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A failed job (missing input) exercises the not-finished paths.
+	failedID := postJob(t, ts, engine.JobSpec{In: "/nonexistent/trace.csv"})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := doReq(t, ts, http.MethodGet, "/v1/jobs/"+failedID, "")
+		var j job
+		json.Unmarshal(body, &j)
+		if j.State == stateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fixture job never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cases := []struct {
+		name    string
+		method  string
+		path    string
+		body    string
+		status  int
+		code    string
+		mention string // substring the message must contain ("" = any)
+	}{
+		{"bad json", "POST", "/v1/jobs", "{not json", 400, "bad_json", ""},
+		{"missing input", "POST", "/v1/jobs", `{}`, 400, "missing_input", "in"},
+		{"unknown method", "POST", "/v1/jobs", `{"in":"x","method":"nope"}`, 400, "unknown_method", "nope"},
+		{"unknown device", "POST", "/v1/jobs", `{"in":"x","device":"floppy"}`, 400, "unknown_device", "floppy"},
+		{"unknown format", "POST", "/v1/jobs", `{"in":"x","informat":"xml"}`, 400, "unknown_format", "xml"},
+		{"config mismatch", "POST", "/v1/jobs", `{"in":"x","device":"array","ftl_config":{"blocks":128}}`, 400, "config_mismatch", "ftl_config"},
+		{"bad ftl knob", "POST", "/v1/jobs", `{"in":"x","device":"ftl","ftl_config":{"blocks":4}}`, 400, "bad_device_config", "ftl_config.blocks"},
+		{"bad host knob", "POST", "/v1/jobs", `{"in":"x","device":"host","host_config":{"dirty_high_water":2}}`, 400, "bad_device_config", "host_config.dirty_high_water"},
+		{"unknown corpus input", "POST", "/v1/jobs", `{"in":"corpus:ffffffffffff"}`, 404, "unknown_trace", ""},
+		{"unknown job status", "GET", "/v1/jobs/job-999999", "", 404, "unknown_job", "job-999999"},
+		{"unknown job result", "GET", "/v1/jobs/job-999999/result", "", 404, "unknown_job", ""},
+		{"unknown job trace", "GET", "/v1/jobs/job-999999/trace", "", 404, "unknown_job", ""},
+		{"result not finished", "GET", "/v1/jobs/" + failedID + "/result", "", 409, "job_not_finished", "failed"},
+		{"bad limit", "GET", "/v1/jobs?limit=zero", "", 400, "bad_limit", "zero"},
+		{"bad cursor", "GET", "/v1/jobs?after=first", "", 400, "bad_cursor", "first"},
+		{"unknown corpus entry", "GET", "/v1/corpus/ffffffffffff", "", 404, "unknown_trace", ""},
+		{"unknown corpus data", "GET", "/v1/corpus/ffffffffffff/data", "", 404, "unknown_trace", ""},
+		{"undecodable upload", "POST", "/v1/corpus", "garbage\n", 400, "bad_trace", ""},
+		{"bad trace format", "GET", "/v1/jobs/" + failedID + "/trace?format=svg", "", 400, "bad_format", "svg"},
+		{"wrong method", "DELETE", "/v1/corpus", "", 405, "method_not_allowed", "DELETE"},
+		{"unknown route", "GET", "/v1/nope", "", 404, "not_found", "/v1/nope"},
+	}
+	for _, tc := range cases {
+		status, body := doReq(t, ts, tc.method, tc.path, tc.body)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.status, body)
+			continue
+		}
+		env := errEnvelope(t, body)
+		if env.Code != tc.code {
+			t.Errorf("%s: code %q, want %q (%s)", tc.name, env.Code, tc.code, env.Message)
+		}
+		if tc.mention != "" && !strings.Contains(env.Message, tc.mention) {
+			t.Errorf("%s: message %q does not mention %q", tc.name, env.Message, tc.mention)
+		}
+	}
+
+	// corpus_disabled needs a daemon without -data.
+	bare := newServer(engine.Config{}, 1, 0)
+	defer bare.Close()
+	tsBare := httptest.NewServer(bare)
+	defer tsBare.Close()
+	status, body := doReq(t, tsBare, http.MethodGet, "/v1/corpus", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("corpus without -data: status %d", status)
+	}
+	if env := errEnvelope(t, body); env.Code != "corpus_disabled" {
+		t.Fatalf("corpus without -data: code %q", env.Code)
+	}
+}
+
+// TestDevicesEndpoint checks the capability catalogue: the registry
+// serves every engine target with aliases, pipeline class and knobs,
+// so clients can discover ftl_config/host_config without trial 400s.
+func TestDevicesEndpoint(t *testing.T) {
+	srv := newServer(engine.Config{}, 1, 0)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	status, body := doReq(t, ts, http.MethodGet, "/v1/devices", "")
+	if status != http.StatusOK {
+		t.Fatalf("devices: status %d: %s", status, body)
+	}
+	var got struct {
+		Devices []engine.DeviceInfo `json:"devices"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]engine.DeviceInfo{}
+	for _, d := range got.Devices {
+		byName[d.Name] = d
+	}
+	ftl, ok := byName["ftl"]
+	if !ok || ftl.ConfigField != "ftl_config" || len(ftl.Knobs) == 0 {
+		t.Fatalf("ftl entry: %+v", ftl)
+	}
+	host, ok := byName["host"]
+	if !ok || host.ConfigField != "host_config" || len(host.Knobs) == 0 {
+		t.Fatalf("host entry: %+v", host)
+	}
+	if ftl.Pipeline != engine.PipelineStateful || host.Pipeline != engine.PipelineStateful {
+		t.Fatalf("ftl/host pipeline: %q / %q", ftl.Pipeline, host.Pipeline)
+	}
+	arr, ok := byName["array"]
+	if !ok || arr.Pipeline != engine.PipelineShardParallel || !arr.Default {
+		t.Fatalf("array entry: %+v", arr)
+	}
+	// Every advertised knob name must round-trip through a JobSpec
+	// without tripping validation's unknown-field handling (knob names
+	// are the JSON keys clients will send).
+	for _, d := range got.Devices {
+		for _, k := range d.Knobs {
+			if k.Name == "" || k.Type == "" {
+				t.Fatalf("device %s: malformed knob %+v", d.Name, k)
+			}
+		}
+	}
+}
+
+// TestJobListPagination locks the cursor contract: pages walk newest
+// to oldest, next_after continues exactly where the page ended, and —
+// the regression this exists for — a cursor taken before new
+// submissions still yields the same older jobs afterwards, because
+// the cursor orders by the job's monotonic sequence number rather
+// than page offset.
+func TestJobListPagination(t *testing.T) {
+	srv := newServer(engine.Config{}, 1, 0)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Jobs with a missing input settle (failed) almost immediately;
+	// listing does not care about the state.
+	submit := func(n int) []string {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = postJob(t, ts, engine.JobSpec{In: "/nonexistent/in.csv", Name: fmt.Sprintf("p%d", i)})
+		}
+		return ids
+	}
+	ids := submit(5) // job-1..job-5
+
+	listPage := func(query string) jobPage {
+		t.Helper()
+		status, body := doReq(t, ts, http.MethodGet, "/v1/jobs"+query, "")
+		if status != http.StatusOK {
+			t.Fatalf("list%s: status %d: %s", query, status, body)
+		}
+		var page jobPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	page1 := listPage("?limit=2")
+	if len(page1.Jobs) != 2 || page1.Jobs[0].ID != ids[4] || page1.Jobs[1].ID != ids[3] {
+		t.Fatalf("page 1: %+v", page1.Jobs)
+	}
+	if page1.NextAfter != ids[3] {
+		t.Fatalf("page 1 next_after = %q, want %q", page1.NextAfter, ids[3])
+	}
+
+	// New submissions land between page fetches — the cursor must not
+	// shift the older pages.
+	submit(3) // job-6..job-8
+
+	page2 := listPage("?limit=2&after=" + page1.NextAfter)
+	if len(page2.Jobs) != 2 || page2.Jobs[0].ID != ids[2] || page2.Jobs[1].ID != ids[1] {
+		t.Fatalf("page 2 after new submissions: %+v", page2.Jobs)
+	}
+	if page2.NextAfter != ids[1] {
+		t.Fatalf("page 2 next_after = %q, want %q", page2.NextAfter, ids[1])
+	}
+	page3 := listPage("?limit=2&after=" + page2.NextAfter)
+	if len(page3.Jobs) != 1 || page3.Jobs[0].ID != ids[0] {
+		t.Fatalf("page 3: %+v", page3.Jobs)
+	}
+	if page3.NextAfter != "" {
+		t.Fatalf("page 3 next_after = %q, want end of listing", page3.NextAfter)
+	}
+
+	// The default (no limit) returns everything here; the cap is
+	// documented as defaultListLimit.
+	all := listPage("")
+	if len(all.Jobs) != 8 || all.NextAfter != "" {
+		t.Fatalf("unpaged list: %d jobs, next_after %q", len(all.Jobs), all.NextAfter)
+	}
+	if defaultListLimit != 100 || maxListLimit != 1000 {
+		t.Fatalf("documented pagination caps changed: default %d, max %d", defaultListLimit, maxListLimit)
+	}
+}

@@ -6,7 +6,9 @@
 //
 // Jobs are JSON engine.JobSpec documents naming an input trace — a
 // server-side path, or "corpus:<digest>" for a trace previously
-// uploaded to POST /corpus — plus the method, and optionally an output
+// uploaded to POST /v1/corpus — plus the method, the reconstruction
+// target (array/ssd/hdd/ftl/host, with nested ftl_config/host_config
+// knobs discoverable from GET /v1/devices), and optionally an output
 // path and the streaming mode for larger-than-memory corpora. With
 // -data, results of corpus jobs are cached by (input digest, job
 // fingerprint): resubmitting an equivalent job serves the cached bytes
@@ -15,14 +17,20 @@
 // reads/writes server-side paths, so it listens on loopback by
 // default; front it with real auth before exposing it.
 //
+// The API is versioned under /v1 (the pre-v1 unversioned routes stay
+// mounted as aliases, counted by daemon_legacy_requests_total), and
+// every non-2xx response carries the structured envelope
+// {"error":{"code":"...","message":"..."}} with a stable code.
+//
 //	tracetrackerd -jobs 2 -parallel 8 -data /var/lib/tracetracker
 //
-//	curl -s -X POST --data-binary @web_0.csv localhost:8080/corpus
-//	curl -s -X POST localhost:8080/jobs \
+//	curl -s -X POST --data-binary @web_0.csv localhost:8080/v1/corpus
+//	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"in":"corpus:<digest>","method":"tracetracker","parallel":8}'
-//	curl -s localhost:8080/jobs/job-1          # status + report
-//	curl -s localhost:8080/jobs/job-1/result   # reconstructed trace
-//	curl -s localhost:8080/jobs/job-1/trace    # span timeline (?format=perfetto)
+//	curl -s localhost:8080/v1/jobs/job-1          # status + report
+//	curl -s localhost:8080/v1/jobs/job-1/result   # reconstructed trace
+//	curl -s localhost:8080/v1/jobs/job-1/trace    # span timeline (?format=perfetto)
+//	curl -s localhost:8080/v1/devices             # target capability catalogue
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains running
 // jobs up to -drain, flushes the journal and exits; interrupted jobs

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -77,6 +78,10 @@ type jobReport struct {
 	AsyncCount  int     `json:"async_count"`
 	BetaMicros  float64 `json:"beta_us_per_sector,omitempty"`
 	EtaMicros   float64 `json:"eta_us_per_sector,omitempty"`
+	// DeviceStats are the replay target's own end-of-run counters
+	// (FTL write amplification, host-stack cache hit rate, ...); empty
+	// for targets that report none.
+	DeviceStats []device.Stat `json:"device_stats,omitempty"`
 }
 
 func newJobReport(r *engine.Report) *jobReport {
@@ -90,6 +95,7 @@ func newJobReport(r *engine.Report) *jobReport {
 		IdleCount:   r.IdleCount,
 		IdleTotalUS: float64(r.IdleTotal) / float64(time.Microsecond),
 		AsyncCount:  r.AsyncCount,
+		DeviceStats: r.DeviceStats,
 	}
 	if r.Model != nil {
 		jr.BetaMicros = r.Model.BetaMicros
@@ -103,17 +109,24 @@ func newJobReport(r *engine.Report) *jobReport {
 // data directory is attached) by the content-addressed corpus store,
 // its result cache, and a crash-recovery journal.
 //
-//	POST /jobs                  submit a JobSpec, returns {"id": ...}
-//	GET  /jobs                  list all jobs (most recent first)
-//	GET  /jobs/{id}             job status + report
-//	GET  /jobs/{id}/result      the reconstructed trace
-//	POST /corpus (also PUT)     ingest a trace (streaming body, dedup by digest)
-//	GET  /corpus                list ingested traces
-//	GET  /corpus/{digest}       entry metadata (unique prefix ok)
-//	GET  /corpus/{digest}/data  the trace bytes
-//	GET  /healthz               liveness + queue depth + cache counters
-//	GET  /metrics               Prometheus text-format metrics
-//	GET  /debug/pprof/...       profiling endpoints (opt-in via -pprof)
+// The API is versioned under /v1; the original unversioned routes
+// remain as thin aliases (counted by daemon_legacy_requests_total) so
+// existing clients keep working. Every non-2xx response carries the
+// structured envelope {"error":{"code":"...","message":"..."}}.
+//
+//	POST /v1/jobs                  submit a JobSpec, returns {"id": ...}
+//	GET  /v1/jobs                  list jobs (most recent first; ?limit=&after=)
+//	GET  /v1/jobs/{id}             job status + report
+//	GET  /v1/jobs/{id}/result      the reconstructed trace
+//	GET  /v1/jobs/{id}/trace       span timeline (?format=perfetto)
+//	GET  /v1/devices               reconstruction-target capability catalogue
+//	POST /v1/corpus (also PUT)     ingest a trace (streaming body, dedup by digest)
+//	GET  /v1/corpus                list ingested traces
+//	GET  /v1/corpus/{digest}       entry metadata (unique prefix ok)
+//	GET  /v1/corpus/{digest}/data  the trace bytes
+//	GET  /healthz                  liveness + queue depth + cache counters
+//	GET  /metrics                  Prometheus text-format metrics (root: scrapers)
+//	GET  /debug/pprof/...          profiling endpoints (opt-in via -pprof)
 //
 // Retention bounds: a long-running daemon must not accumulate every
 // result it ever produced.
@@ -235,23 +248,92 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 	s.reg.GaugeFunc("daemon_uptime_seconds", "Seconds since the daemon started.", nil,
 		func() float64 { return time.Since(s.started).Seconds() })
 	s.setLogger(obs.NopLogger())
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /jobs", s.handleList)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("POST /corpus", s.handleCorpusIngest)
-	s.mux.HandleFunc("PUT /corpus", s.handleCorpusIngest)
-	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
-	s.mux.HandleFunc("GET /corpus/{digest}", s.handleCorpusInfo)
-	s.mux.HandleFunc("GET /corpus/{digest}/data", s.handleCorpusData)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mountRoutes()
 	for i := 0; i < concurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// apiRoute is one entry in the daemon's route table: the canonical
+// path lives under /v1; legacy marks routes that predate versioning
+// and keep an unversioned alias for old clients.
+type apiRoute struct {
+	method string
+	path   string // path relative to /v1, e.g. "/jobs/{id}"
+	h      http.HandlerFunc
+	legacy bool
+}
+
+// routes is the single source of the daemon's API surface — the
+// contract test walks this same table, so a route cannot be mounted
+// without being covered.
+func (s *server) routes() []apiRoute {
+	return []apiRoute{
+		{"POST", "/jobs", s.handleSubmit, true},
+		{"GET", "/jobs", s.handleList, true},
+		{"GET", "/jobs/{id}", s.handleStatus, true},
+		{"GET", "/jobs/{id}/result", s.handleResult, true},
+		{"GET", "/jobs/{id}/trace", s.handleTrace, true},
+		{"GET", "/devices", s.handleDevices, false},
+		{"POST", "/corpus", s.handleCorpusIngest, true},
+		{"PUT", "/corpus", s.handleCorpusIngest, true},
+		{"GET", "/corpus", s.handleCorpusList, true},
+		{"GET", "/corpus/{digest}", s.handleCorpusInfo, true},
+		{"GET", "/corpus/{digest}/data", s.handleCorpusData, true},
+	}
+}
+
+// mountRoutes wires the route table into the mux: each route under
+// /v1, legacy aliases at their original unversioned paths (wrapped to
+// count daemon_legacy_requests_total per route), plus enveloped 405
+// fallbacks for known paths and an enveloped 404 for everything else.
+// /healthz and /metrics stay at the root — operational endpoints that
+// load balancers and Prometheus scrapers have configured by path.
+func (s *server) mountRoutes() {
+	allow := map[string][]string{}
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		allow["/v1"+rt.path] = append(allow["/v1"+rt.path], rt.method)
+		if rt.legacy {
+			c := s.reg.Counter("daemon_legacy_requests_total",
+				"Requests served through pre-v1 unversioned route aliases.",
+				obs.Labels{"route": rt.method + " " + rt.path})
+			h := rt.h
+			s.mux.HandleFunc(rt.method+" "+rt.path, func(w http.ResponseWriter, r *http.Request) {
+				c.Inc()
+				h(w, r)
+			})
+			allow[rt.path] = append(allow[rt.path], rt.method)
+		}
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	allow["/healthz"] = []string{"GET"}
+	allow["/metrics"] = []string{"GET"}
+	// Method-less fallbacks: a known path with the wrong method answers
+	// an enveloped 405 (ServeMux's own 405 is plain text).
+	for path, methods := range allow {
+		seen := map[string]bool{}
+		uniq := methods[:0]
+		for _, m := range methods {
+			if !seen[m] {
+				seen[m] = true
+				uniq = append(uniq, m)
+			}
+		}
+		ms := strings.Join(uniq, ", ")
+		s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", ms)
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Errorf("method %s not allowed (allow: %s)", r.Method, ms))
+		})
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no route %s %s; the API lives under /v1", r.Method, r.URL.Path))
+	})
 }
 
 // setLogger attaches the daemon logger and rebuilds the middleware
@@ -383,7 +465,7 @@ func (s *server) replay(recs []journalRecord) {
 				}
 			}
 			if j.OutPath != "" {
-				j.ResultURL = "/jobs/" + j.ID + "/result"
+				j.ResultURL = "/v1/jobs/" + j.ID + "/result"
 			}
 		case journalFail:
 			j, ok := s.jobs[rec.ID]
@@ -579,7 +661,7 @@ func (s *server) worker() {
 		s.mu.Lock()
 		j.Finished = &fin
 		j.TraceID = jt.TraceID
-		j.TraceURL = "/jobs/" + j.ID + "/trace"
+		j.TraceURL = "/v1/jobs/" + j.ID + "/trace"
 		if err != nil {
 			s.jobsFailed.Inc()
 			j.State = stateFailed
@@ -597,7 +679,7 @@ func (s *server) worker() {
 			j.result = res
 			j.Report = newJobReport(res.Report)
 			j.OutPath = res.OutPath
-			j.ResultURL = "/jobs/" + j.ID + "/result"
+			j.ResultURL = "/v1/jobs/" + j.ID + "/result"
 			rec.Op = journalDone
 			rec.OutPath = res.OutPath
 			rec.Report = j.Report
@@ -659,24 +741,25 @@ func (s *server) prune() {
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec engine.JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		httpError(w, http.StatusBadRequest, "bad_json", fmt.Errorf("bad job spec: %w", err))
 		return
 	}
 	digest := ""
 	if rest, ok := strings.CutPrefix(spec.In, corpusScheme); ok {
 		if s.store == nil {
-			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("corpus inputs need the daemon started with -data"))
+			httpError(w, http.StatusServiceUnavailable, "corpus_disabled",
+				fmt.Errorf("corpus inputs need the daemon started with -data"))
 			return
 		}
 		e, err := s.store.Resolve(rest)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, http.StatusNotFound, "unknown_trace", err)
 			return
 		}
 		// "auto" means "infer it" — for corpus inputs the ingested
 		// format is authoritative, same as an empty informat.
 		if spec.InFormat != "" && spec.InFormat != "auto" && spec.InFormat != e.Format {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, http.StatusBadRequest, "format_conflict",
 				fmt.Errorf("informat %q conflicts with ingested format %q", spec.InFormat, e.Format))
 			return
 		}
@@ -690,20 +773,20 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// persisted spec carries a concrete format.
 		detected, err := trace.DetectFile(spec.In)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, "bad_format", err)
 			return
 		}
 		spec.InFormat = detected
 	}
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		specError(w, err)
 		return
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		httpError(w, http.StatusServiceUnavailable, "shutting_down", fmt.Errorf("server shutting down"))
 		return
 	}
 	s.nextID++
@@ -739,29 +822,96 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			TraceID: j.TraceID,
 		})
 	}
+	// Captured under the lock: a fast job can finish (and the worker
+	// rewrite j's fields under s.mu) before this handler writes its
+	// response.
+	id, traceID := j.ID, j.TraceID
 	s.mu.Unlock()
 	if !queued {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue full"))
+		httpError(w, http.StatusServiceUnavailable, "queue_full", fmt.Errorf("job queue full"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{"id": j.ID, "status_url": "/jobs/" + j.ID, "trace_id": j.TraceID})
+	json.NewEncoder(w).Encode(map[string]string{"id": id, "status_url": "/v1/jobs/" + id, "trace_id": traceID})
+}
+
+// List pagination bounds: pages default to defaultListLimit jobs and
+// never exceed maxListLimit, whatever the client asks for.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// jobPage is the GET /v1/jobs response: one page of jobs, newest
+// first, plus the cursor for the next page when more remain.
+type jobPage struct {
+	Jobs      []job  `json:"jobs"`
+	NextAfter string `json:"next_after,omitempty"`
+}
+
+// jobSeq extracts the monotonic sequence number from a job ID.
+func jobSeq(id string) (int, bool) {
+	suffix, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(suffix)
+	return n, err == nil && n > 0
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad_limit",
+				fmt.Errorf("limit must be a positive integer, got %q", v))
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	// The cursor is the ID of the last job on the previous page. Jobs
+	// are compared by their monotonic sequence number, so the walk is
+	// stable under concurrent submissions: new jobs only ever appear
+	// before the cursor (on page one), never shifted into later pages —
+	// and a pruned cursor job still orders the remainder correctly.
+	afterSeq := -1
+	if after := q.Get("after"); after != "" {
+		n, ok := jobSeq(after)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "bad_cursor",
+				fmt.Errorf("after must be a job ID like job-42, got %q", after))
+			return
+		}
+		afterSeq = n
+	}
 	// Snapshot under the lock, marshal outside it: serializing
-	// thousands of retained records must not stall workers flipping
+	// hundreds of retained records must not stall workers flipping
 	// job states.
 	s.mu.Lock()
-	out := make([]job, 0, len(s.order))
+	page := jobPage{Jobs: []job{}}
 	for i := len(s.order) - 1; i >= 0; i-- {
-		out = append(out, *s.jobs[s.order[i]])
+		id := s.order[i]
+		if afterSeq >= 0 {
+			if n, ok := jobSeq(id); !ok || n >= afterSeq {
+				continue
+			}
+		}
+		if len(page.Jobs) == limit {
+			page.NextAfter = page.Jobs[len(page.Jobs)-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, *s.jobs[id])
 	}
 	s.mu.Unlock()
-	data, err := json.Marshal(out)
+	data, err := json.Marshal(page)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -778,11 +928,11 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		httpError(w, http.StatusNotFound, "unknown_job", fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -803,11 +953,11 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		httpError(w, http.StatusNotFound, "unknown_job", fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	if state != stateDone {
-		httpError(w, http.StatusConflict, fmt.Errorf("job is %s", state))
+		httpError(w, http.StatusConflict, "job_not_finished", fmt.Errorf("job is %s", state))
 		return
 	}
 	if outPath != "" {
@@ -815,7 +965,8 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res == nil || res.Trace == nil {
-		httpError(w, http.StatusGone, fmt.Errorf("in-memory result evicted (retention limit); rerun with an output path"))
+		httpError(w, http.StatusGone, "result_evicted",
+			fmt.Errorf("in-memory result evicted (retention limit); rerun with an output path"))
 		return
 	}
 	format := spec.OutFormat
@@ -826,7 +977,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	enc, err := trace.NewEncoder(format, w, spec.FIODevice)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	if err := trace.EncodeTrace(enc, res.Trace); err != nil {
@@ -850,16 +1001,18 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		httpError(w, http.StatusNotFound, "unknown_job", fmt.Errorf("unknown job %q", id))
 		return
 	}
 	if state != stateDone && state != stateFailed {
-		httpError(w, http.StatusConflict, fmt.Errorf("job is %s; its timeline lands when it finishes", state))
+		httpError(w, http.StatusConflict, "job_not_finished",
+			fmt.Errorf("job is %s; its timeline lands when it finishes", state))
 		return
 	}
 	jt, ok := s.flight.Get(id)
 	if !ok {
-		httpError(w, http.StatusGone, fmt.Errorf("trace evicted from the flight recorder (raise -trace-ring)"))
+		httpError(w, http.StatusGone, "trace_evicted",
+			fmt.Errorf("trace evicted from the flight recorder (raise -trace-ring)"))
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -870,7 +1023,8 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.trace.json", id))
 		obs.WriteChromeTrace(w, jt)
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown trace format %q (json, perfetto)", format))
+		httpError(w, http.StatusBadRequest, "bad_format",
+			fmt.Errorf("unknown trace format %q (json, perfetto)", format))
 	}
 }
 
@@ -878,7 +1032,8 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // attached.
 func (s *server) requireStore(w http.ResponseWriter) *corpus.Store {
 	if s.store == nil {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("corpus store disabled; start the daemon with -data"))
+		httpError(w, http.StatusServiceUnavailable, "corpus_disabled",
+			fmt.Errorf("corpus store disabled; start the daemon with -data"))
 		return nil
 	}
 	return s.store
@@ -893,11 +1048,11 @@ func (s *server) handleCorpusIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Undecodable uploads are the client's fault; anything else
 		// (disk full, unwritable store) is ours.
-		code := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, "internal"
 		if errors.Is(err, corpus.ErrBadTrace) {
-			code = http.StatusBadRequest
+			status, code = http.StatusBadRequest, "bad_trace"
 		}
-		httpError(w, code, err)
+		httpError(w, status, code, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -922,7 +1077,7 @@ func (s *server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := store.Resolve(r.PathValue("digest"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpError(w, http.StatusNotFound, "unknown_trace", err)
 		return
 	}
 	writeJSON(w, e)
@@ -935,7 +1090,7 @@ func (s *server) handleCorpusData(w http.ResponseWriter, r *http.Request) {
 	}
 	rc, e, err := store.OpenBlob(r.PathValue("digest"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpError(w, http.StatusNotFound, "unknown_trace", err)
 		return
 	}
 	defer rc.Close()
@@ -969,13 +1124,42 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, health)
 }
 
+// handleDevices serves the reconstruction-target capability catalogue:
+// every device the engine accepts, its aliases, per-device knobs and
+// which execution pipeline it runs on. The catalogue comes from the
+// same registry JobSpec validation uses, so discovery cannot drift
+// from enforcement.
+func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"devices": engine.Devices()})
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// apiError is the envelope every non-2xx response carries.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError writes the structured error envelope: a stable
+// machine-readable code plus a human-readable message.
+func httpError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: err.Error()}})
+}
+
+// specError maps a JobSpec rejection to its envelope: typed engine
+// validation errors carry their own stable code and name the
+// offending field; anything else is a generic bad spec.
+func specError(w http.ResponseWriter, err error) {
+	var ve *engine.ValidationError
+	if errors.As(err, &ve) {
+		httpError(w, http.StatusBadRequest, ve.Code, ve)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "bad_spec", err)
 }

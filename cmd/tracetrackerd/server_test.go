@@ -328,7 +328,8 @@ func TestResultEviction(t *testing.T) {
 	}
 }
 
-// TestJobList checks listing order (most recent first).
+// TestJobList checks listing order (most recent first) and that the
+// legacy alias serves the same paginated shape as /v1/jobs.
 func TestJobList(t *testing.T) {
 	dir := t.TempDir()
 	inPath, _ := writeInput(t, dir)
@@ -342,19 +343,26 @@ func TestJobList(t *testing.T) {
 	waitDone(t, ts, id1)
 	waitDone(t, ts, id2)
 
-	resp, err := http.Get(ts.URL + "/jobs")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var jobs []job
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
-		t.Fatal(err)
-	}
-	if len(jobs) != 2 || jobs[0].Name != "second" || jobs[1].Name != "first" {
-		t.Fatalf("list: %+v", jobs)
-	}
-	if jobs[0].ID != id2 {
-		t.Fatalf("want %s first, got %s", id2, jobs[0].ID)
+	for _, path := range []string{"/v1/jobs", "/jobs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page jobPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := page.Jobs
+		if len(jobs) != 2 || jobs[0].Name != "second" || jobs[1].Name != "first" {
+			t.Fatalf("%s: list: %+v", path, jobs)
+		}
+		if jobs[0].ID != id2 {
+			t.Fatalf("%s: want %s first, got %s", path, id2, jobs[0].ID)
+		}
+		if page.NextAfter != "" {
+			t.Fatalf("%s: two jobs fit one page, next_after = %q", path, page.NextAfter)
+		}
 	}
 }

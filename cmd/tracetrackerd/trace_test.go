@@ -98,7 +98,7 @@ func TestTraceEndToEnd(t *testing.T) {
 	if done.TraceID != clientTC.TraceID {
 		t.Fatalf("finished job trace_id %q, want %q", done.TraceID, clientTC.TraceID)
 	}
-	if done.TraceURL != "/jobs/"+sub.ID+"/trace" {
+	if done.TraceURL != "/v1/jobs/"+sub.ID+"/trace" {
 		t.Fatalf("trace_url %q", done.TraceURL)
 	}
 

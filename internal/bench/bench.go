@@ -547,6 +547,68 @@ func Run(opts Options) (*Report, error) {
 				}); err != nil {
 				return nil, err
 			}
+
+			// FTL and host-stack targets: the deep-state devices on the
+			// same epoch-pipelined path. The factories come from the
+			// engine's device registry so the bench times exactly what a
+			// `device: "ftl"` / `device: "host"` job runs.
+			mkFTL, err := engine.DeviceFactory("ftl")
+			if err != nil {
+				return nil, err
+			}
+			mkHost, err := engine.DeviceFactory("host")
+			if err != nil {
+				return nil, err
+			}
+			reconstructTarget := func(name string, mk func() device.Device) error {
+				var em *obs.EngineMetrics
+				if opts.Stages {
+					em = obs.NewEngineMetrics(obs.NewRegistry())
+				}
+				eng := engine.New(engine.Config{Workers: w, Device: mk, Metrics: em})
+				add(measureStaged(em, fmt.Sprintf("reconstruct-%s/size=%s/workers=%d", name, sz, w), reqs, int64(len(binData)), w,
+					func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							out, _, err := eng.Reconstruct(tr)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if out.Len() != tr.Len() {
+								b.Fatal("request count mismatch")
+							}
+						}
+					}))
+				if name == "host" {
+					// The host stack is the richest per-request target, so
+					// it also carries the streaming end-to-end scenario.
+					add(measureStaged(em, fmt.Sprintf("e2e-host/csv/size=%s/workers=%d", sz, w), reqs, int64(len(binData)), w,
+						func(b *testing.B) {
+							b.ReportAllocs()
+							for i := 0; i < b.N; i++ {
+								dec := trace.NewBinaryDecoder(bytes.NewReader(binData))
+								rep, err := eng.ReconstructStream(dec, trace.NewCSVEncoder(io.Discard), nil)
+								if err != nil {
+									b.Fatal(err)
+								}
+								if rep.Requests != reqs {
+									b.Fatalf("reconstructed %d of %d", rep.Requests, reqs)
+								}
+							}
+						}))
+				}
+				return capture(fmt.Sprintf("reconstruct-%s/size=%s/workers=%d", name, sz, w),
+					engine.Config{Workers: w, Device: mk}, func(te *engine.Engine) error {
+						_, _, err := te.Reconstruct(tr)
+						return err
+					})
+			}
+			if err := reconstructTarget("ftl", mkFTL); err != nil {
+				return nil, err
+			}
+			if err := reconstructTarget("host", mkHost); err != nil {
+				return nil, err
+			}
 		}
 	}
 	rep.PeakRSSBytes = readPeakRSS()

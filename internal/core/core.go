@@ -53,6 +53,13 @@ type Report struct {
 	// 1 for this sequential pipeline, more when the parallel engine
 	// produced the report.
 	Shards int
+	// DeviceStats carries the target device's accumulated model
+	// statistics (GC rounds, write amplification, cache hit rates) when
+	// the device reports any (device.StatsReporter); nil otherwise. The
+	// stats come from the device instance that serviced every request
+	// in submission order, so they are identical across execution
+	// strategies.
+	DeviceStats []device.Stat
 }
 
 // idleStats fills the aggregate fields from the per-instruction data.
@@ -95,6 +102,9 @@ func Reconstruct(old *trace.Trace, target device.Device, opts Options) (*trace.T
 	out := replay.Emulate(old, target, rep.Idle)
 	if !opts.SkipPostProcess {
 		postProcess(out, rep.Async)
+	}
+	if sr, ok := target.(device.StatsReporter); ok {
+		rep.DeviceStats = sr.DeviceStats()
 	}
 	return out, rep, nil
 }

@@ -94,10 +94,45 @@ type Stateful interface {
 	Restore(State)
 }
 
+// ConditionalStateful is implemented by wrapper devices whose
+// snapshot support depends on what they wrap: a host stack over a
+// Stateful device snapshots, the same stack over an arbitrary Device
+// does not. IsStateful consults it so the engine never routes such a
+// wrapper onto the pipelined path it cannot serve.
+type ConditionalStateful interface {
+	// SnapshotSupported reports whether Snapshot/Restore are usable on
+	// this instance.
+	SnapshotSupported() bool
+}
+
 // IsStateful reports whether d supports snapshot/restore handoff.
 func IsStateful(d Device) bool {
-	_, ok := d.(Stateful)
-	return ok
+	if _, ok := d.(Stateful); !ok {
+		return false
+	}
+	if c, ok := d.(ConditionalStateful); ok {
+		return c.SnapshotSupported()
+	}
+	return true
+}
+
+// Stat is one named statistic a device model accumulated during an
+// emulation — the numbers the paper's motivating studies report (GC
+// counts, write amplification, cache hit rates). Values are float64 so
+// one type carries counters, durations and ratios.
+type Stat struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// StatsReporter is implemented by devices that accumulate model
+// statistics. The engine reads the stats from the device that serviced
+// every request in submission order (the serial device or the
+// pipelined servicer's device), so reported stats are identical across
+// execution strategies — locked by the engine identity tests.
+type StatsReporter interface {
+	// DeviceStats returns the accumulated statistics in a fixed order.
+	DeviceStats() []Stat
 }
 
 // bytesDuration returns the time to move n bytes at rate bytesPerSec.

@@ -47,6 +47,16 @@ func (s JobSpec) Fingerprint() string {
 		// digest.
 		n.Device = ""
 	}
+	if n.Device != "ftl" {
+		// Nested device configs only shape the output when their target
+		// is selected (Validate rejects the mismatch anyway); nil
+		// pointers vanish from the JSON, so specs predating these fields
+		// keep their fingerprints and cached results.
+		n.FTLConfig = nil
+	}
+	if n.Device != "host" {
+		n.HostConfig = nil
+	}
 	if n.OutFormat != "fio" {
 		n.FIODevice = ""
 	}

@@ -139,6 +139,9 @@ type Report struct {
 	IdleCount  int
 	IdleTotal  time.Duration
 	AsyncCount int
+	// DeviceStats mirrors core.Report.DeviceStats: the target device's
+	// accumulated model statistics when it reports any.
+	DeviceStats []device.Stat
 }
 
 // Reconstruct is the in-memory entry point: it reproduces
@@ -195,7 +198,7 @@ func (e *Engine) Reconstruct(old *trace.Trace) (*trace.Trace, *core.Report, erro
 			rep.AsyncCount += res.asyncCount
 			rep.Shards++
 			return nil
-		}, nil)
+		}, nil, &rep.DeviceStats)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ftl"
+	"repro/internal/hoststack"
+	"repro/internal/trace"
+)
+
+// testFTLConfig is a deliberately small geometry so corpus-scale test
+// traces lap the device and force both foreground and background GC —
+// the state the snapshot handoff must carry across epochs.
+func testFTLConfig() ftl.Config {
+	cfg := device.DefaultFTLDeviceConfig()
+	cfg.Blocks = 64
+	cfg.PagesPerBlock = 32
+	return cfg
+}
+
+// testHostConfig is a small cache over a write-caching HDD: evictions,
+// dirty-threshold flushes and inner destage debt all cross epoch
+// boundaries.
+func testHostConfig() (hoststack.Config, device.HDDConfig) {
+	wc := device.DefaultHDDConfig()
+	wc.WriteCache = true
+	return hoststack.Config{
+		CachePages: 256,
+		PageKB:     4,
+		WriteBack:  true,
+		FlushBatch: 8,
+		NoBlockLog: true,
+	}, wc
+}
+
+// statefulTargets returns the two deep-state pipelined targets under
+// test, with fixture assertions proving the workload actually
+// exercised their state machines.
+func statefulTargets(t *testing.T) map[string]struct {
+	mk    func() device.Device
+	prove func(name string, stats []device.Stat)
+} {
+	t.Helper()
+	ftlCfg := testFTLConfig()
+	hostCfg, hddCfg := testHostConfig()
+	find := func(name string, stats []device.Stat, key string) float64 {
+		for _, s := range stats {
+			if s.Name == key {
+				return s.Value
+			}
+		}
+		t.Fatalf("%s: device stats missing %q: %+v", name, key, stats)
+		return 0
+	}
+	return map[string]struct {
+		mk    func() device.Device
+		prove func(name string, stats []device.Stat)
+	}{
+		"ftl": {
+			mk: func() device.Device { return device.NewFTLDevice(ftlCfg) },
+			prove: func(name string, stats []device.Stat) {
+				if find(name, stats, "host_writes") == 0 || find(name, stats, "erases") == 0 {
+					t.Fatalf("%s: fixture created no GC pressure: %+v", name, stats)
+				}
+			},
+		},
+		"host": {
+			mk: func() device.Device { return hoststack.New(hostCfg, device.NewHDD(hddCfg)) },
+			prove: func(name string, stats []device.Stat) {
+				if find(name, stats, "cache_misses") == 0 || find(name, stats, "flushed_pages") == 0 {
+					t.Fatalf("%s: fixture created no cache/writeback pressure: %+v", name, stats)
+				}
+			},
+		},
+	}
+}
+
+// pipelinedByteIdentical locks the epoch-pipelined path for one
+// stateful target: for workers 1, 4 and 8 the reconstruction — records,
+// per-instruction report and device stats — is byte-identical to the
+// sequential core pipeline.
+func pipelinedByteIdentical(t *testing.T, target string) {
+	tc := statefulTargets(t)[target]
+	for _, family := range []string{"ikki", "MSNFS"} {
+		for _, tsdev := range []bool{true, false} {
+			for _, skipPost := range []bool{false, true} {
+				opts := core.Options{SkipPostProcess: skipPost}
+				old := genOld(t, family, 3000, tsdev)
+				wantTrace, wantRep, err := core.Reconstruct(old, tc.mk(), opts)
+				if err != nil {
+					t.Fatalf("%s tsdev=%v: sequential: %v", family, tsdev, err)
+				}
+				tc.prove(target+"/"+family, wantRep.DeviceStats)
+				want := traceBytes(t, wantTrace)
+				for _, workers := range []int{1, 4, 8} {
+					cfg := testConfig(workers, opts)
+					cfg.Device = tc.mk
+					gotTrace, gotRep, err := New(cfg).Reconstruct(old)
+					if err != nil {
+						t.Fatalf("%s tsdev=%v w=%d: pipelined: %v", family, tsdev, workers, err)
+					}
+					if got := traceBytes(t, gotTrace); !bytes.Equal(got, want) {
+						t.Fatalf("%s tsdev=%v skipPost=%v w=%d: pipelined %s output not byte-identical to the serial path",
+							family, tsdev, skipPost, workers, target)
+					}
+					if gotRep.Shards < 2 {
+						t.Fatalf("%s w=%d: expected multiple epochs, got %d", family, workers, gotRep.Shards)
+					}
+					if gotRep.IdleCount != wantRep.IdleCount || gotRep.IdleTotal != wantRep.IdleTotal ||
+						gotRep.AsyncCount != wantRep.AsyncCount {
+						t.Fatalf("%s tsdev=%v w=%d: report aggregates diverge", family, tsdev, workers)
+					}
+					if !reflect.DeepEqual(gotRep.Idle, wantRep.Idle) || !reflect.DeepEqual(gotRep.Async, wantRep.Async) {
+						t.Fatalf("%s tsdev=%v w=%d: per-instruction report diverges", family, tsdev, workers)
+					}
+					if !reflect.DeepEqual(gotRep.Model, wantRep.Model) {
+						t.Fatalf("%s tsdev=%v w=%d: model diverges", family, tsdev, workers)
+					}
+					if !reflect.DeepEqual(gotRep.DeviceStats, wantRep.DeviceStats) {
+						t.Fatalf("%s tsdev=%v w=%d: device stats diverge:\n got %+v\nwant %+v",
+							family, tsdev, workers, gotRep.DeviceStats, wantRep.DeviceStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedFTLByteIdentical is the acceptance lock for the FTL
+// target on the epoch-pipelined path.
+func TestPipelinedFTLByteIdentical(t *testing.T) { pipelinedByteIdentical(t, "ftl") }
+
+// TestPipelinedHostByteIdentical is the acceptance lock for the
+// host-stack target on the epoch-pipelined path.
+func TestPipelinedHostByteIdentical(t *testing.T) { pipelinedByteIdentical(t, "host") }
+
+// TestPipelinedFTLHostStream checks the streaming variant for both
+// targets: streamed bytes equal a direct whole-trace encode of the
+// sequential reconstruction, and the stream report carries the same
+// device stats.
+func TestPipelinedFTLHostStream(t *testing.T) {
+	for target, tc := range statefulTargets(t) {
+		old := genOld(t, "MSNFS", 3000, true)
+		wantTrace, wantRep, err := core.Reconstruct(old, tc.mk(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, input bytes.Buffer
+		if err := trace.WriteCSV(&want, wantTrace); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteBinary(&input, old); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			cfg := testConfig(workers, core.Options{})
+			cfg.Device = tc.mk
+			var got bytes.Buffer
+			rep, err := New(cfg).ReconstructStream(
+				trace.NewBinaryDecoder(bytes.NewReader(input.Bytes())),
+				trace.NewCSVEncoder(&got),
+				nil,
+			)
+			if err != nil {
+				t.Fatalf("%s w=%d: stream: %v", target, workers, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("%s w=%d: streamed output diverges from the serial path", target, workers)
+			}
+			if rep.Shards < 2 {
+				t.Fatalf("%s w=%d: expected multiple epochs, got %d", target, workers, rep.Shards)
+			}
+			if !reflect.DeepEqual(rep.DeviceStats, wantRep.DeviceStats) {
+				t.Fatalf("%s w=%d: stream device stats diverge:\n got %+v\nwant %+v",
+					target, workers, rep.DeviceStats, wantRep.DeviceStats)
+			}
+		}
+	}
+}
+
+// TestJobSpecDeviceConfigs locks the spec-level surface: nested config
+// validation codes, fingerprint gating (configs only digest when their
+// target is selected; an all-defaults config digests like none), and
+// registry-driven construction.
+func TestJobSpecDeviceConfigs(t *testing.T) {
+	base := JobSpec{In: "x.csv", Device: "ftl"}
+	if err := base.Normalized().Validate(); err != nil {
+		t.Fatalf("plain ftl spec: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		spec  JobSpec
+		field string
+		code  string
+	}{
+		{"mismatched ftl_config", JobSpec{In: "x", Device: "array", FTLConfig: &FTLSpec{Blocks: 128}}, "ftl_config", "config_mismatch"},
+		{"mismatched host_config", JobSpec{In: "x", Device: "ssd", HostConfig: &HostSpec{CachePages: 64}}, "host_config", "config_mismatch"},
+		{"bad ftl blocks", JobSpec{In: "x", Device: "ftl", FTLConfig: &FTLSpec{Blocks: 4}}, "ftl_config.blocks", "bad_device_config"},
+		{"bad host inner", JobSpec{In: "x", Device: "host", HostConfig: &HostSpec{Inner: "ftl"}}, "host_config.device", "bad_device_config"},
+		{"bad host highwater", JobSpec{In: "x", Device: "host", HostConfig: &HostSpec{DirtyHighWater: 1.5}}, "host_config.dirty_high_water", "bad_device_config"},
+		{"unknown device", JobSpec{In: "x", Device: "floppy"}, "device", "unknown_device"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalized().Validate()
+		ve, ok := err.(*ValidationError)
+		if !ok {
+			t.Fatalf("%s: want *ValidationError, got %v", tc.name, err)
+		}
+		if ve.Field != tc.field || ve.Code != tc.code {
+			t.Fatalf("%s: got field=%q code=%q, want field=%q code=%q", tc.name, ve.Field, ve.Code, tc.field, tc.code)
+		}
+	}
+
+	// Fingerprint gating: a config on a non-matching device is dropped
+	// from the digest; on its own device it changes the digest; an
+	// all-defaults (zero) config digests like no config at all.
+	arr := JobSpec{In: "x"}.Fingerprint()
+	if got := (JobSpec{In: "x", FTLConfig: &FTLSpec{Blocks: 128}}).Fingerprint(); got != arr {
+		t.Fatalf("ftl_config entered a non-ftl fingerprint")
+	}
+	plainFTL := JobSpec{In: "x", Device: "ftl"}.Fingerprint()
+	if got := (JobSpec{In: "x", Device: "ftl", FTLConfig: &FTLSpec{}}).Fingerprint(); got != plainFTL {
+		t.Fatalf("zero ftl_config changed the ftl fingerprint")
+	}
+	if got := (JobSpec{In: "x", Device: "ftl", FTLConfig: &FTLSpec{Blocks: 128}}).Fingerprint(); got == plainFTL {
+		t.Fatalf("ftl_config did not enter the ftl fingerprint")
+	}
+	plainHost := JobSpec{In: "x", Device: "host"}.Fingerprint()
+	if got := (JobSpec{In: "x", Device: "host", HostConfig: &HostSpec{CachePages: 64}}).Fingerprint(); got == plainHost {
+		t.Fatalf("host_config did not enter the host fingerprint")
+	}
+	if got := (JobSpec{In: "x", Device: "hoststack"}).Fingerprint(); got != plainHost {
+		t.Fatalf("hoststack alias fingerprints differently from host")
+	}
+
+	// Registry-driven discovery matches validation.
+	names := map[string]bool{}
+	for _, d := range Devices() {
+		names[d.Name] = true
+		if d.Pipeline != PipelineShardParallel && d.Pipeline != PipelineStateful {
+			t.Fatalf("device %s: unknown pipeline %q", d.Name, d.Pipeline)
+		}
+		if _, err := DeviceFactory(d.Name); err != nil {
+			t.Fatalf("registry device %s fails DeviceFactory: %v", d.Name, err)
+		}
+		for _, a := range d.Aliases {
+			if normalizeDevice(a) != d.Name {
+				t.Fatalf("alias %q does not normalize to %s", a, d.Name)
+			}
+		}
+	}
+	for _, want := range []string{"array", "ssd", "hdd", "ftl", "host"} {
+		if !names[want] {
+			t.Fatalf("registry missing device %q", want)
+		}
+	}
+}

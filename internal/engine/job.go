@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/baseline"
-	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -36,10 +35,20 @@ type JobSpec struct {
 	Method string `json:"method,omitempty"`
 	// Device is the reconstruction target: "array" (default; alias
 	// "new" — the paper's 4-SSD flash array), "ssd" (one member SSD),
-	// or "hdd" (alias "old" — the decade-old disk the public traces
-	// were captured on). HDD jobs run on the engine's epoch-pipelined
-	// path, so Parallel applies to them like any other job.
+	// "hdd" (alias "old" — the decade-old disk the public traces were
+	// captured on), "ftl" (page-mapped flash translation layer with
+	// background GC in idle gaps), or "host" (alias "hoststack" — the
+	// syscall/page-cache/writeback stack over an inner device). The
+	// stateful targets (hdd, ftl, host) run on the engine's
+	// epoch-pipelined path, so Parallel applies to them like any other
+	// job. See the engine device registry (Devices) for the full
+	// capability table.
 	Device string `json:"device,omitempty"`
+	// FTLConfig tunes the "ftl" target; it must be unset for other
+	// targets and enters the spec fingerprint only when selected.
+	FTLConfig *FTLSpec `json:"ftl_config,omitempty"`
+	// HostConfig tunes the "host" target, same contract as FTLConfig.
+	HostConfig *HostSpec `json:"host_config,omitempty"`
 	// Factor is the acceleration divisor (acceleration method).
 	Factor float64 `json:"factor,omitempty"`
 	// ThresholdUS is the fixed-th idle threshold in microseconds.
@@ -86,7 +95,40 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.ReorderWindow == 0 && trace.NeedsSort(s.InFormat) {
 		s.ReorderWindow = DefaultReorderWindow
 	}
+	// Canonicalize the nested device configs so semantically equal
+	// specs fingerprint equally: an all-defaults config is the same as
+	// none, and inner-device aliases normalize. The pointers are copied
+	// before mutation — a spec shares no state with its Normalized form.
+	if s.FTLConfig != nil && *s.FTLConfig == (FTLSpec{}) {
+		s.FTLConfig = nil
+	}
+	if s.HostConfig != nil {
+		hc := *s.HostConfig
+		if hc.Inner != "" {
+			hc.Inner = normalizeDevice(hc.Inner)
+		}
+		if hc == (HostSpec{}) {
+			s.HostConfig = nil
+		} else {
+			s.HostConfig = &hc
+		}
+	}
 	return s
+}
+
+// ValidationError is a JobSpec validation failure: Field names the
+// offending JSON field and Code is a stable machine-readable cause the
+// daemon's error envelope forwards to clients.
+type ValidationError struct {
+	// Field is the JSON field path, e.g. "device" or "ftl_config.blocks".
+	Field string
+	// Code is the stable cause, e.g. "unknown_device".
+	Code string
+	msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return "engine: " + e.Field + ": " + e.msg
 }
 
 // Validate rejects specs RunJob cannot execute. Call it on a
@@ -94,63 +136,57 @@ func (s JobSpec) withDefaults() JobSpec {
 // applied.
 func (s JobSpec) Validate() error {
 	if s.In == "" {
-		return fmt.Errorf("engine: job needs an input path")
+		return &ValidationError{Field: "in", Code: "missing_input",
+			msg: "job needs an input path"}
 	}
 	switch s.InFormat {
 	case "csv", "bin", "msrc", "spc":
 	default:
-		return fmt.Errorf("engine: unknown input format %q", s.InFormat)
+		return &ValidationError{Field: "informat", Code: "unknown_format",
+			msg: fmt.Sprintf("unknown input format %q", s.InFormat)}
 	}
 	switch s.OutFormat {
 	case "csv", "bin", "blktrace", "fio":
 	default:
-		return fmt.Errorf("engine: unknown output format %q", s.OutFormat)
+		return &ValidationError{Field: "outformat", Code: "unknown_format",
+			msg: fmt.Sprintf("unknown output format %q", s.OutFormat)}
 	}
 	switch s.Method {
 	case "tracetracker", "dynamic", "fixed-th", "revision", "acceleration":
 	default:
-		return fmt.Errorf("engine: unknown method %q", s.Method)
+		return &ValidationError{Field: "method", Code: "unknown_method",
+			msg: fmt.Sprintf("unknown method %q", s.Method)}
 	}
-	if _, err := DeviceFactory(s.Device); err != nil {
+	dev := normalizeDevice(s.Device)
+	if deviceEntryFor(dev) == nil {
+		return &ValidationError{Field: "device", Code: "unknown_device",
+			msg: fmt.Sprintf("unknown device %q", s.Device)}
+	}
+	if s.FTLConfig != nil && dev != "ftl" {
+		return &ValidationError{Field: "ftl_config", Code: "config_mismatch",
+			msg: fmt.Sprintf("ftl_config is only valid for the ftl device, not %q", dev)}
+	}
+	if s.HostConfig != nil && dev != "host" {
+		return &ValidationError{Field: "host_config", Code: "config_mismatch",
+			msg: fmt.Sprintf("host_config is only valid for the host device, not %q", dev)}
+	}
+	if err := s.FTLConfig.validate(); err != nil {
+		return err
+	}
+	if err := s.HostConfig.validate(); err != nil {
 		return err
 	}
 	if s.Stream {
 		if s.Method != "tracetracker" && s.Method != "dynamic" {
-			return fmt.Errorf("engine: streaming supports the tracetracker/dynamic methods, not %q", s.Method)
+			return &ValidationError{Field: "stream", Code: "bad_stream_spec",
+				msg: fmt.Sprintf("streaming supports the tracetracker/dynamic methods, not %q", s.Method)}
 		}
 		if s.Out == "" {
-			return fmt.Errorf("engine: streaming jobs need an output path")
+			return &ValidationError{Field: "out", Code: "bad_stream_spec",
+				msg: "streaming jobs need an output path"}
 		}
 	}
 	return nil
-}
-
-// normalizeDevice canonicalizes JobSpec.Device aliases; unknown names
-// pass through for Validate to reject.
-func normalizeDevice(name string) string {
-	switch name {
-	case "", "new", "array":
-		return "array"
-	case "old", "hdd":
-		return "hdd"
-	default:
-		return name
-	}
-}
-
-// DeviceFactory maps a JobSpec.Device name (aliases included, "" =
-// array) to a per-worker device constructor for engine.Config.Device.
-func DeviceFactory(name string) (func() device.Device, error) {
-	switch normalizeDevice(name) {
-	case "array":
-		return func() device.Device { return device.NewArray(device.DefaultArrayConfig()) }, nil
-	case "ssd":
-		return func() device.Device { return device.NewSSD(device.DefaultSSDConfig()) }, nil
-	case "hdd":
-		return func() device.Device { return device.NewHDD(device.DefaultHDDConfig()) }, nil
-	default:
-		return nil, fmt.Errorf("engine: unknown device %q", name)
-	}
 }
 
 // JobResult is the outcome of one job.
@@ -173,10 +209,11 @@ func RunJob(cfg Config, spec JobSpec) (*JobResult, error) {
 	if spec.Parallel > 0 {
 		cfg.Workers = spec.Parallel
 	}
-	// The spec's device selects the target for every method; HDD
-	// targets run on the epoch-pipelined engine path at the job's full
-	// worker count — they no longer imply a serial reconstruction.
-	dev, err := DeviceFactory(spec.Device)
+	// The spec's device selects the target for every method; stateful
+	// targets (hdd, ftl, host) run on the epoch-pipelined engine path
+	// at the job's full worker count — they never imply a serial
+	// reconstruction.
+	dev, err := deviceFactoryFor(spec)
 	if err != nil {
 		return nil, err
 	}

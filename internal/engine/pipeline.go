@@ -91,8 +91,13 @@ type pipeResult struct {
 // epoch order with final arrivals. se, when non-nil, is the shard
 // encoder workers pre-render output bytes with (streaming only). pool
 // follows the execute() recycling discipline and must be non-nil
-// whenever se is.
-func (e *Engine) executePipelined(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, se trace.ShardEncoder, emit func(pipeResult) error, pool *bufPool) error {
+// whenever se is. devStats, when non-nil, receives the servicer
+// device's accumulated statistics (device.StatsReporter) after the
+// last epoch is serviced — the servicer's device is the one instance
+// that sees every submission in order, so its stats equal a serial
+// run's; the write is safe to read once executePipelined returns (the
+// servicer's channel close happens-before the merge loop ends).
+func (e *Engine) executePipelined(produce func(submit func(shard) error) error, m *infer.Model, useRecorded bool, se trace.ShardEncoder, emit func(pipeResult) error, pool *bufPool, devStats *[]device.Stat) error {
 	workers := e.cfg.Workers
 	mtr := e.cfg.Metrics
 	tra := e.cfg.Trace
@@ -244,6 +249,11 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 				mtr.QueuePush(obs.StageEmulate)
 				emuCh <- cur
 				next++
+			}
+		}
+		if devStats != nil {
+			if sr, ok := sdev.(device.StatsReporter); ok {
+				*devStats = sr.DeviceStats()
 			}
 		}
 	}()

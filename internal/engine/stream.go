@@ -199,7 +199,7 @@ func (e *Engine) streamPipelined(produce func(submit func(shard) error) error, e
 		rep.AsyncCount += res.asyncCount
 		return nil
 	}
-	if err := e.executePipelined(produce, m, useRecorded, se, emit, pool); err != nil {
+	if err := e.executePipelined(produce, m, useRecorded, se, emit, pool, &rep.DeviceStats); err != nil {
 		return nil, err
 	}
 	return rep, enc.Close()
@@ -230,13 +230,14 @@ func (e *Engine) streamFallback(dec trace.Decoder, enc trace.Encoder, dev device
 // report.
 func reportFromCore(rep *core.Report, requests int64, workers int) *Report {
 	return &Report{
-		Model:      rep.Model,
-		Requests:   requests,
-		Shards:     rep.Shards,
-		Workers:    workers,
-		IdleCount:  rep.IdleCount,
-		IdleTotal:  rep.IdleTotal,
-		AsyncCount: rep.AsyncCount,
+		Model:       rep.Model,
+		Requests:    requests,
+		Shards:      rep.Shards,
+		Workers:     workers,
+		IdleCount:   rep.IdleCount,
+		IdleTotal:   rep.IdleTotal,
+		AsyncCount:  rep.AsyncCount,
+		DeviceStats: rep.DeviceStats,
 	}
 }
 

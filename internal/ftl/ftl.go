@@ -160,27 +160,39 @@ func New(cfg Config) *FTL {
 	if cfg.BackgroundGCTarget == 0 {
 		cfg.BackgroundGCTarget = def.BackgroundGCTarget
 	}
-	f := &FTL{cfg: cfg, gcActive: -1}
-	f.blocks = make([]block, cfg.Blocks)
+	f := &FTL{cfg: cfg}
+	f.Reset()
+	return f
+}
+
+// Reset returns the FTL to its freshly-built state: empty mapping,
+// zero wear, zero statistics.
+func (f *FTL) Reset() {
+	f.gcActive = -1
+	f.blocks = make([]block, f.cfg.Blocks)
 	for i := range f.blocks {
 		f.blocks[i] = block{
-			pages: make([]pageState, cfg.PagesPerBlock),
-			lpns:  make([]int64, cfg.PagesPerBlock),
+			pages: make([]pageState, f.cfg.PagesPerBlock),
+			lpns:  make([]int64, f.cfg.PagesPerBlock),
 		}
 	}
-	totalPages := int64(cfg.Blocks) * int64(cfg.PagesPerBlock)
-	f.logical = int64(float64(totalPages) * (1 - cfg.OverprovisionPct))
+	totalPages := int64(f.cfg.Blocks) * int64(f.cfg.PagesPerBlock)
+	f.logical = int64(float64(totalPages) * (1 - f.cfg.OverprovisionPct))
 	f.l2p = make([]int64, f.logical)
 	for i := range f.l2p {
 		f.l2p[i] = -1
 	}
 	// Block 0 starts active; the rest are free.
 	f.active = 0
-	for i := 1; i < cfg.Blocks; i++ {
+	f.freeList = f.freeList[:0]
+	for i := 1; i < f.cfg.Blocks; i++ {
 		f.freeList = append(f.freeList, i)
 	}
-	return f
+	f.stats = Stats{}
 }
+
+// Config returns the FTL's configuration with defaults applied.
+func (f *FTL) Config() Config { return f.cfg }
 
 // LogicalPages returns the addressable logical page count.
 func (f *FTL) LogicalPages() int64 { return f.logical }

@@ -49,6 +49,11 @@ type Config struct {
 	SyscallOverhead time.Duration
 	// HitLatency is the cost of serving a request from the cache.
 	HitLatency time.Duration
+	// NoBlockLog disables the block-layer request log. The engine sets
+	// it for reconstruction targets: the log grows without bound over a
+	// whole trace, is excluded from snapshots anyway, and is only
+	// meaningful on a serially-driven stack.
+	NoBlockLog bool
 }
 
 // DefaultConfig returns a 256 MiB write-back cache with modest
@@ -324,7 +329,89 @@ func (s *Stack) issue(at time.Duration, dev uint32, firstPage, lastPage uint64, 
 		Op:      op,
 	}
 	res := s.inner.Submit(at, req)
-	req.Latency = res.Complete - at
-	s.log.Requests = append(s.log.Requests, req)
+	if !s.cfg.NoBlockLog {
+		req.Latency = res.Complete - at
+		s.log.Requests = append(s.log.Requests, req)
+	}
 	return res
+}
+
+// savedPage is one page-cache entry in a snapshot, in LRU order.
+type savedPage struct {
+	key   pageKey
+	dirty bool
+}
+
+// stackState is the Stack's device.State: the page-cache contents in
+// recency order with their dirty flags (the writeback debt), the
+// accumulated cache counters, and the inner device's own snapshot
+// (which carries any destage debt the inner device still owes — e.g.
+// a write-back HDD's busyUntil). The block-layer log is deliberately
+// not part of the snapshot: it is a diagnostic of a serially-driven
+// stack, disabled via Config.NoBlockLog on engine targets.
+type stackState struct {
+	pages                 []savedPage // front (MRU) to back (LRU)
+	hits, misses, flushed uint64
+	inner                 device.State
+}
+
+// SnapshotSupported implements device.ConditionalStateful: the stack
+// snapshots exactly when its inner device does.
+func (s *Stack) SnapshotSupported() bool {
+	_, ok := s.inner.(device.Stateful)
+	return ok
+}
+
+// Snapshot implements device.Stateful. The inner device must be
+// Stateful (see SnapshotSupported).
+func (s *Stack) Snapshot() device.State {
+	st := stackState{hits: s.hits, misses: s.misses, flushed: s.flushed}
+	if n := s.lru.Len(); n > 0 {
+		st.pages = make([]savedPage, 0, n)
+	}
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		pg := e.Value.(*cachePage)
+		st.pages = append(st.pages, savedPage{key: pg.key, dirty: pg.dirty})
+	}
+	st.inner = s.inner.(device.Stateful).Snapshot()
+	return st
+}
+
+// Restore implements device.Stateful, rebuilding the cache from a
+// snapshot taken on a same-configured stack. Like every State, the
+// snapshot may be adopted — restore a given State at most once.
+func (s *Stack) Restore(v device.State) {
+	st := v.(stackState)
+	s.pages = make(map[pageKey]*cachePage, len(st.pages))
+	s.lru = list.New()
+	s.dirty = 0
+	for _, sp := range st.pages {
+		pg := &cachePage{key: sp.key, dirty: sp.dirty}
+		pg.elem = s.lru.PushBack(pg)
+		s.pages[sp.key] = pg
+		if sp.dirty {
+			s.dirty++
+		}
+	}
+	s.hits, s.misses, s.flushed = st.hits, st.misses, st.flushed
+	s.inner.(device.Stateful).Restore(st.inner)
+}
+
+// DeviceStats implements device.StatsReporter with the cache-level
+// numbers that distinguish application-visible from block-level
+// behaviour, appending the inner device's stats when it reports any.
+func (s *Stack) DeviceStats() []device.Stat {
+	stats := []device.Stat{
+		{Name: "cache_hits", Value: float64(s.hits)},
+		{Name: "cache_misses", Value: float64(s.misses)},
+		{Name: "hit_rate", Value: s.HitRate()},
+		{Name: "flushed_pages", Value: float64(s.flushed)},
+		{Name: "dirty_pages", Value: float64(s.dirty)},
+	}
+	if sr, ok := s.inner.(device.StatsReporter); ok {
+		for _, st := range sr.DeviceStats() {
+			stats = append(stats, device.Stat{Name: "inner_" + st.Name, Value: st.Value})
+		}
+	}
+	return stats
 }

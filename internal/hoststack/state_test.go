@@ -1,0 +1,132 @@
+package hoststack
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// TestStackCapabilities pins the engine routing: a stack over a
+// Stateful inner device is stateful (pipelined), never shard-safe; a
+// stack over a non-Stateful inner device reports no snapshot support,
+// so the engine falls back to the sequential path instead of panicking
+// mid-pipeline.
+func TestStackCapabilities(t *testing.T) {
+	over := func(inner device.Device) *Stack {
+		return New(Config{CachePages: 16, NoBlockLog: true}, inner)
+	}
+	statefulInner := over(device.NewHDD(device.DefaultHDDConfig()))
+	if device.IsShardSafe(statefulInner) {
+		t.Fatalf("stack over hdd must not be shard-safe")
+	}
+	if !device.IsStateful(statefulInner) {
+		t.Fatalf("stack over hdd must be stateful")
+	}
+	opaque := over(&device.Null{})
+	if device.IsStateful(opaque) {
+		t.Fatalf("stack over a non-stateful device must not claim statefulness")
+	}
+}
+
+// stackWorkload drives a deterministic mix of reads and writes that
+// fills the cache, dirties pages and crosses the flush threshold.
+func stackWorkload(n, span int, seed uint64) []trace.Request {
+	reqs := make([]trace.Request, n)
+	x := seed
+	for i := range reqs {
+		x = x*6364136223846793005 + 1442695040888963407
+		op := trace.Write
+		if x>>32%3 == 0 {
+			op = trace.Read
+		}
+		page := (x >> 16) % uint64(span)
+		reqs[i] = trace.Request{LBA: page * 8, Sectors: 8, Op: op}
+	}
+	return reqs
+}
+
+// TestStackSnapshotRestore checks the host-stack handoff contract: a
+// snapshot carries the page-cache contents in recency order, the dirty
+// (writeback-debt) flags, the cache counters and the inner device's
+// own state, so a restored fresh stack reproduces the original's
+// future servicing and statistics exactly — while a fresh stack
+// without the restore does not.
+func TestStackSnapshotRestore(t *testing.T) {
+	wc := device.DefaultHDDConfig()
+	wc.WriteCache = true
+	cfg := Config{CachePages: 64, PageKB: 4, WriteBack: true, FlushBatch: 8, NoBlockLog: true}
+	mk := func() *Stack { return New(cfg, device.NewHDD(wc)) }
+
+	prefix := stackWorkload(500, 200, 11)
+	suffix := stackWorkload(120, 200, 23)
+
+	orig := mk()
+	now := time.Duration(0)
+	for _, r := range prefix {
+		now = orig.Submit(now, r).Complete
+	}
+	snap := orig.Snapshot()
+
+	replayFrom := func(s *Stack) []device.Result {
+		at := now
+		var out []device.Result
+		for _, r := range suffix {
+			res := s.Submit(at, r)
+			out = append(out, res)
+			at = res.Complete
+		}
+		return out
+	}
+	want := replayFrom(orig)
+
+	restored := mk()
+	restored.Restore(snap)
+	got := replayFrom(restored)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("suffix result %d diverges after restore: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(orig.DeviceStats(), restored.DeviceStats()) {
+		t.Fatalf("device stats diverge after restore:\n got %+v\nwant %+v", restored.DeviceStats(), orig.DeviceStats())
+	}
+
+	fresh := mk()
+	diverged := false
+	for i, res := range replayFrom(fresh) {
+		if res != want[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatalf("fresh stack reproduced the stateful suffix; fixture does not exercise cache state")
+	}
+}
+
+// TestNoBlockLogDisablesLog checks the engine-target mode: with
+// NoBlockLog set the block-layer log stays empty no matter how much
+// traffic reaches the inner device, and servicing is unaffected.
+func TestNoBlockLogDisablesLog(t *testing.T) {
+	inner := device.NewHDD(device.DefaultHDDConfig())
+	logged := New(Config{CachePages: 16, WriteBack: true}, device.NewHDD(device.DefaultHDDConfig()))
+	quiet := New(Config{CachePages: 16, WriteBack: true, NoBlockLog: true}, inner)
+	reqs := stackWorkload(200, 64, 7)
+	now, qnow := time.Duration(0), time.Duration(0)
+	for _, r := range reqs {
+		now = logged.Submit(now, r).Complete
+		qnow = quiet.Submit(qnow, r).Complete
+	}
+	if now != qnow {
+		t.Fatalf("NoBlockLog changed servicing: %v vs %v", qnow, now)
+	}
+	if n := len(logged.BlockTrace().Requests); n == 0 {
+		t.Fatalf("fixture issued no block-layer traffic")
+	}
+	if n := len(quiet.BlockTrace().Requests); n != 0 {
+		t.Fatalf("NoBlockLog still logged %d requests", n)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/ftl"
+	"repro/internal/hoststack"
 	"repro/internal/trace"
 )
 
@@ -61,6 +63,54 @@ func TestEmulateShardResumeChains(t *testing.T) {
 			lo, hi := cuts[c], cuts[c+1]
 			// A fresh device per epoch: restoring the handoff must be
 			// all the continuity the epoch needs.
+			h = EmulateShardResume(got[lo:hi], reqs[lo:hi], mk(), idle[lo:hi], h)
+		}
+		if h.Now != wantEnd {
+			t.Fatalf("%s: chained end %v, continuous end %v", name, h.Now, wantEnd)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: request %d diverges:\n got %+v\nwant %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEmulateShardResumeChainsFTLHost mirrors
+// TestEmulateShardResumeChains for the two deep-state targets: the FTL
+// (snapshot = mapping table, wear, GC debt) and the host stack over a
+// write-caching HDD (snapshot = page-cache contents, dirty/writeback
+// debt, plus the inner device's destage debt). Geometries are sized so
+// the fixture actually crosses GC and eviction thresholds inside the
+// epoch cuts.
+func TestEmulateShardResumeChainsFTLHost(t *testing.T) {
+	const n = 1200
+	reqs, idle := handoffReqs(n)
+	ftlCfg := ftl.Config{Blocks: 64, PagesPerBlock: 8, PageKB: 8}
+	wc := device.DefaultHDDConfig()
+	wc.WriteCache = true
+	hostCfg := hoststack.Config{
+		CachePages: 128,
+		PageKB:     4,
+		WriteBack:  true,
+		FlushBatch: 8,
+		NoBlockLog: true,
+	}
+	devs := map[string]func() device.Device{
+		"ftl": func() device.Device { return device.NewFTLDevice(ftlCfg) },
+		"host-hdd-writecache": func() device.Device {
+			return hoststack.New(hostCfg, device.NewHDD(wc))
+		},
+	}
+	for name, mk := range devs {
+		want := make([]trace.Request, n)
+		wantEnd := EmulateShardInto(want, reqs, mk(), idle)
+
+		got := make([]trace.Request, n)
+		h := Handoff{State: mk().(device.Stateful).Snapshot()}
+		cuts := []int{0, 1, 257, 600, 601, 999, n}
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
 			h = EmulateShardResume(got[lo:hi], reqs[lo:hi], mk(), idle[lo:hi], h)
 		}
 		if h.Now != wantEnd {
