@@ -58,6 +58,12 @@ func run(args []string, stdout io.Writer) error {
 	baseline := fs.String("baseline", "", "gate this run against a baseline BENCH_*.json")
 	compare := fs.Bool("compare", false, "compare two existing reports: -compare BASE CURRENT (no run)")
 	daemon := fs.String("daemon", "", "also time a job round trip against a running tracetrackerd URL")
+	load := fs.Bool("load", false,
+		"load-generation mode against the -daemon URL (skips the bench suite): N tenant clients mix uploads and job submissions with jittered exponential backoff honoring Retry-After, reporting accepted/shed/error rates and accepted-request p99")
+	loadTenants := fs.Int("load-tenants", 8, "concurrent tenant client loops in -load mode")
+	loadDuration := fs.Duration("load-duration", 10*time.Second, "how long -load mode submits traffic")
+	loadKeys := fs.String("load-keys", "", "comma-separated API keys for -load mode, assigned to tenants round-robin (empty = anonymous)")
+	loadSize := fs.Int("load-trace-requests", 20_000, "requests in each -load tenant's uploaded trace")
 	tolDrop := fs.Float64("tolerance", 0.15, "allowed fractional req/s drop before the gate fails")
 	stages := fs.Bool("stages", false,
 		"record each engine scenario's per-stage wall-time breakdown (plan/decompose/service/emulate/merge) in the report")
@@ -85,6 +91,41 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		return gate(stdout, base, cur, tol)
+	}
+
+	if *load {
+		if *daemon == "" {
+			return fmt.Errorf("-load needs -daemon <url>")
+		}
+		var keys []string
+		if *loadKeys != "" {
+			keys = strings.Split(*loadKeys, ",")
+		}
+		rep, err := bench.RunLoad(bench.LoadOptions{
+			BaseURL:       strings.TrimSuffix(*daemon, "/"),
+			Tenants:       *loadTenants,
+			Keys:          keys,
+			Duration:      *loadDuration,
+			TraceRequests: *loadSize,
+			Log:           func(line string) { fmt.Fprintln(stdout, line) },
+		})
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			data, _ := json.MarshalIndent(rep, "", "  ")
+			if err := os.WriteFile(*out, append(data, '\n'), 0o666); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
+		}
+		// Shed traffic is the daemon doing its job; server errors and
+		// lost jobs are not.
+		if rep.ServerErrors > 0 || rep.JobsCompleted+rep.JobsFailed != rep.JobsAccepted {
+			return fmt.Errorf("load: %d server errors, %d/%d accepted jobs terminal",
+				rep.ServerErrors, rep.JobsCompleted+rep.JobsFailed, rep.JobsAccepted)
+		}
+		return nil
 	}
 
 	opts := bench.Options{

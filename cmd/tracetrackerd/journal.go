@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultfs"
 )
 
 // Journal record operations.
@@ -34,6 +35,7 @@ type journalRecord struct {
 	// Submit payload.
 	Spec   *engine.JobSpec `json:"spec,omitempty"`
 	Digest string          `json:"digest,omitempty"`
+	Tenant string          `json:"tenant,omitempty"`
 	// Finish payload.
 	Key     string     `json:"key,omitempty"`
 	OutPath string     `json:"out_path,omitempty"`
@@ -52,9 +54,21 @@ type journalRecord struct {
 type journal struct {
 	path string
 
+	// faults, when set (setFaults, test-only), injects write faults
+	// into appends under faultfs.SinkJournal.
+	faults *faultfs.Injector
+
 	mu     sync.Mutex
 	f      *os.File
 	closed bool
+}
+
+// setFaults arms the journal with a write-fault injector. Test-only;
+// call before appends begin.
+func (j *journal) setFaults(in *faultfs.Injector) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.faults = in
 }
 
 // openJournal reads every intact record of the journal at path (a
@@ -102,7 +116,9 @@ func (j *journal) append(rec journalRecord) {
 	if j.closed {
 		return
 	}
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
+	if _, err := j.faults.Writer(faultfs.SinkJournal, j.f).Write(append(data, '\n')); err != nil {
+		// The job stays "interrupted" in the journal (a torn tail is
+		// tolerated by replay) and re-runs on the next start.
 		fmt.Fprintf(os.Stderr, "tracetrackerd: journal: %v\n", err)
 		return
 	}

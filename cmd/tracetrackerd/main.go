@@ -13,9 +13,17 @@
 // -data, results of corpus jobs are cached by (input digest, job
 // fingerprint): resubmitting an equivalent job serves the cached bytes
 // without reconstructing, and a journal replays finished and
-// interrupted jobs across restarts. The API is unauthenticated and
-// reads/writes server-side paths, so it listens on loopback by
-// default; front it with real auth before exposing it.
+// interrupted jobs across restarts.
+//
+// The daemon listens on loopback by default and runs anonymously
+// there; to expose it beyond the host, configure API-key
+// authentication with -auth-keys (or TRACETRACKERD_AUTH_KEYS) — keys
+// map to tenant names, and per-tenant quotas (-quota-corpus-bytes,
+// -quota-concurrent-jobs, -quota-jobs-per-min), rate limits (-rate,
+// -tenant-rate), the bounded job queue (-queue), the upload cap
+// (-max-upload-bytes) and the server timeouts shed overload instead
+// of degrading. A non-loopback -addr without auth keys is refused
+// unless -insecure explicitly accepts anonymous remote access.
 //
 // The API is versioned under /v1 (the pre-v1 unversioned routes stay
 // mounted as aliases, counted by daemon_legacy_requests_total), and
@@ -56,7 +64,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080",
-		"listen address (loopback by default: the API is unauthenticated and job specs name server-side file paths)")
+		"listen address (loopback by default; non-loopback requires -auth-keys or -insecure: job specs name server-side file paths)")
 	jobs := flag.Int("jobs", 2, "concurrent job executors")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"engine workers per job, and decode workers for corpus uploads (<2 = sequential ingest)")
@@ -75,10 +83,41 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text, json")
 	pprofOn := flag.Bool("pprof", false,
 		"serve net/http/pprof under /debug/pprof/ (off by default: profiles expose internals)")
+	authKeys := flag.String("auth-keys", "",
+		"API key file (one tenant:key per line, #-comments); enables auth: clients send Authorization: Bearer <key> or X-API-Key. Unset, the TRACETRACKERD_AUTH_KEYS env var (inline tenant:key,tenant:key) is tried; neither = anonymous mode")
+	insecure := flag.Bool("insecure", false,
+		"allow a non-loopback -addr without auth keys (dangerous: anonymous clients can read/write server-side paths)")
+	queueCap := flag.Int("queue", defaultQueueCap,
+		"job queue capacity; submissions beyond it answer 429 queue_full with a load-derived Retry-After")
+	maxUpload := flag.Int64("max-upload-bytes", 1<<30,
+		"largest accepted corpus upload body in bytes (0 = unlimited); larger bodies answer 413 payload_too_large")
+	rate := flag.Float64("rate", 0, "global API request rate limit in req/s (0 = unlimited; burst 2x)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant API request rate limit in req/s (0 = unlimited; burst 2x)")
+	quotaCorpus := flag.Int64("quota-corpus-bytes", 0, "per-tenant corpus bytes stored before uploads answer 403 quota_exceeded (0 = unlimited)")
+	quotaJobs := flag.Int("quota-concurrent-jobs", 0, "per-tenant queued+running jobs before submits answer 403 quota_exceeded (0 = unlimited)")
+	quotaJobsPerMin := flag.Int("quota-jobs-per-min", 0, "per-tenant job submissions per minute before submits answer 403 quota_exceeded (0 = unlimited)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second,
+		"time a client gets to send request headers before the connection drops (slow-loris guard)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute,
+		"time a client gets to send a whole request, including a streaming upload body")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Minute,
+		"time the server gets to write a whole response, including large result downloads")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"keep-alive connection idle time before the server closes it")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+		os.Exit(1)
+	}
+
+	auth, err := loadAuthKeys(*authKeys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
+		os.Exit(1)
+	}
+	if err := checkAddrGuard(*addr, auth != nil, *insecure); err != nil {
 		fmt.Fprintf(os.Stderr, "tracetrackerd: %v\n", err)
 		os.Exit(1)
 	}
@@ -88,10 +127,18 @@ func main() {
 		MinIdleGap:       *minIdleGap,
 		MaxShardRequests: *maxShard,
 	}
-	srv := newServer(base, *jobs, *retain)
+	srv := newServerCap(base, *jobs, *retain, *queueCap)
 	srv.ingestParallel = *parallel
 	srv.flight.SetCapacity(*traceRing)
 	srv.slowJob = *slowJob
+	srv.maxUpload = *maxUpload
+	srv.setAuth(auth)
+	srv.setRateLimits(*rate, *tenantRate)
+	srv.adm.quota = quotaConfig{
+		CorpusBytes:    *quotaCorpus,
+		ConcurrentJobs: *quotaJobs,
+		JobsPerMin:     *quotaJobsPerMin,
+	}
 	srv.setLogger(log)
 	if *pprofOn {
 		srv.enablePprof()
@@ -104,7 +151,7 @@ func main() {
 		log.Info("corpus store attached", "dir", *dataDir, "traces", srv.store.Len())
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := newHTTPServer(*addr, srv, *readHeaderTimeout, *readTimeout, *writeTimeout, *idleTimeout)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
@@ -112,7 +159,7 @@ func main() {
 	defer stop()
 
 	log.Info("listening", "addr", *addr, "executors", *jobs, "workers", *parallel,
-		"revision", srv.revision, "pprof", *pprofOn)
+		"revision", srv.revision, "pprof", *pprofOn, "auth", auth != nil, "queue", *queueCap)
 	select {
 	case err := <-errc:
 		log.Error("server failed", "error", err)
@@ -134,5 +181,20 @@ func main() {
 	}
 	if !srv.CloseGrace(remain) {
 		log.Warn("drain deadline hit; interrupted jobs will re-run on next start")
+	}
+}
+
+// newHTTPServer assembles the hardened http.Server around the daemon
+// handler: header/read/write/idle deadlines so clients that trickle
+// bytes (slow loris) or never read their response are disconnected
+// instead of pinning connections and goroutines.
+func newHTTPServer(addr string, h http.Handler, readHeader, read, write, idle time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+		WriteTimeout:      write,
+		IdleTimeout:       idle,
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
@@ -48,6 +49,9 @@ type job struct {
 	// Digest is the corpus input digest for corpus: jobs ("" for
 	// server-side path inputs).
 	Digest string `json:"digest,omitempty"`
+	// Tenant is the submitting identity (anonTenant in anonymous
+	// mode); concurrent-jobs quotas count a tenant's live jobs by it.
+	Tenant string `json:"tenant,omitempty"`
 	// Cached reports the result came from the result cache without a
 	// reconstruction.
 	Cached    bool       `json:"cached,omitempty"`
@@ -138,6 +142,10 @@ const (
 	// retainJobs caps job metadata records; the oldest finished jobs
 	// beyond it are forgotten entirely.
 	retainJobs = 4096
+	// defaultQueueCap bounds the executor queue; submissions beyond it
+	// shed with 429 queue_full rather than blocking or growing without
+	// bound (-queue overrides).
+	defaultQueueCap = 1024
 )
 
 type server struct {
@@ -182,11 +190,28 @@ type server struct {
 	store *corpus.Store
 	jnl   *journal
 
+	// Admission control (see admission.go): identity, rate limits and
+	// quotas, configured before serving. maxUpload caps a corpus upload
+	// body in bytes (0 = unlimited) with an enveloped 413. rejected
+	// labels daemon_rejected_total lazily by {reason,tenant}.
+	adm       admission
+	maxUpload int64
+	rejected  func(reason, tenant string) *obs.Counter
+	// avgJobNs is an EWMA of recent job wall times; queue-full
+	// Retry-After derives from it and the backlog.
+	avgJobNs  atomic.Int64
+	queueCap  int
+	executors int
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string
 	nextID int
 	closed bool
+	// corpusUsed is the per-tenant ingested corpus bytes (rebuilt from
+	// entry sidecars by openData, maintained on upload) backing the
+	// corpus-bytes quota.
+	corpusUsed map[string]int64
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -200,11 +225,20 @@ type server struct {
 // each on an engine derived from base, retaining at most
 // retainResults finished in-memory result traces (<=0 = default).
 func newServer(base engine.Config, concurrent, retainResults int) *server {
+	return newServerCap(base, concurrent, retainResults, defaultQueueCap)
+}
+
+// newServerCap is newServer with an explicit executor-queue capacity
+// (<=0 = default); overload tests shrink it to force shedding.
+func newServerCap(base engine.Config, concurrent, retainResults, queueCap int) *server {
 	if concurrent <= 0 {
 		concurrent = 2
 	}
 	if retainResults <= 0 {
 		retainResults = defaultRetainResults
+	}
+	if queueCap <= 0 {
+		queueCap = defaultQueueCap
 	}
 	requeueDone := make(chan struct{})
 	close(requeueDone) // no replay in progress until openData
@@ -213,7 +247,10 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 		mux:           http.NewServeMux(),
 		retainResults: retainResults,
 		jobs:          make(map[string]*job),
-		queue:         make(chan *job, 1024),
+		corpusUsed:    make(map[string]int64),
+		queue:         make(chan *job, queueCap),
+		queueCap:      queueCap,
+		executors:     concurrent,
 		stopRequeue:   make(chan struct{}),
 		requeueDone:   requeueDone,
 		started:       time.Now(),
@@ -240,9 +277,18 @@ func newServer(base engine.Config, concurrent, retainResults int) *server {
 		"Job timelines evicted from the trace flight recorder.", nil))
 	s.reg.GaugeFunc("daemon_trace_recorder_timelines", "Job timelines held in the trace flight recorder.", nil,
 		func() float64 { return float64(s.flight.Len()) })
+	s.rejected = func(reason, tenant string) *obs.Counter {
+		return s.reg.Counter("daemon_rejected_total",
+			"Requests rejected by admission control, by reason and tenant.",
+			obs.Labels{"reason": reason, "tenant": tenant})
+	}
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.reg.GaugeFunc("daemon_queue_depth", "Jobs waiting in the executor queue.", nil,
 		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("daemon_queue_capacity", "Executor queue capacity; submissions beyond it shed with 429.", nil,
+		func() float64 { return float64(s.queueCap) })
+	s.reg.GaugeFunc("daemon_rate_tenants", "Tenants with live rate-limit or jobs/min bucket state.", nil,
+		func() float64 { return float64(s.adm.trackedTenants()) })
 	s.reg.GaugeFunc("daemon_jobs_running", "Jobs currently executing.", nil,
 		func() float64 { _, running := s.countStates(); return float64(running) })
 	s.reg.GaugeFunc("daemon_uptime_seconds", "Seconds since the daemon started.", nil,
@@ -337,10 +383,85 @@ func (s *server) mountRoutes() {
 }
 
 // setLogger attaches the daemon logger and rebuilds the middleware
-// chain around it. Call before serving traffic.
+// chain around it: obs middleware (request IDs, metrics, logging),
+// then admission (serveAdmitted), then the route mux. Call before
+// serving traffic.
 func (s *server) setLogger(log *slog.Logger) {
 	s.log = log
-	s.handler = obs.Middleware(log, s.hm, s.mux)
+	s.handler = obs.Middleware(log, s.hm, http.HandlerFunc(s.serveAdmitted))
+}
+
+// setAuth enables API-key authentication (nil keeps anonymous mode).
+// Call before serving traffic.
+func (s *server) setAuth(t *authTable) {
+	s.adm.auth = t
+}
+
+// setRateLimits configures the request-rate token buckets (req/s, 0 =
+// unlimited; bursts default to 2× the rate). Call before serving
+// traffic.
+func (s *server) setRateLimits(globalRate, tenantRate float64) {
+	if globalRate > 0 {
+		b := newTokenBucket(globalRate, 2*globalRate)
+		s.adm.global = b
+		s.reg.GaugeFunc("daemon_rate_tokens",
+			"Global request rate-limit token-bucket level.",
+			obs.Labels{"scope": "global"}, b.level)
+	}
+	if tenantRate > 0 {
+		s.adm.tenantRate = tenantRate
+		s.adm.tenantBurst = 2 * tenantRate
+	}
+}
+
+// serveAdmitted sits between the obs middleware and the route mux:
+// it authenticates the request, applies the request rate limits, and
+// binds the tenant to the context before dispatching. /healthz and
+// /metrics bypass admission — load balancers and scrapers are
+// configured by path and carry no credentials.
+func (s *server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	tenant := anonTenant
+	if s.adm.auth != nil {
+		t, ok := s.adm.auth.lookup(apiKeyFrom(r))
+		if !ok {
+			s.reject(w, "unauthorized", tenant, http.StatusUnauthorized, "unauthorized",
+				fmt.Errorf("missing or unknown API key (send Authorization: Bearer <key> or X-API-Key)"))
+			return
+		}
+		tenant = t
+	}
+	if b := s.adm.global; b != nil {
+		if ok, wait := b.take(); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			s.reject(w, "rate_limited", tenant, http.StatusTooManyRequests, "rate_limited",
+				fmt.Errorf("global request rate limit exceeded"))
+			return
+		}
+	}
+	if b := s.adm.tenantBucket(tenant); b != nil {
+		if ok, wait := b.take(); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			s.reject(w, "rate_limited", tenant, http.StatusTooManyRequests, "rate_limited",
+				fmt.Errorf("tenant %q request rate limit exceeded", tenant))
+			return
+		}
+	}
+	// Bind the tenant in place on the shared request value (the same
+	// idiom ServeMux uses for r.Pattern): a WithContext copy here would
+	// hide the matched pattern from the obs middleware's route metrics.
+	*r = *r.WithContext(withTenant(r.Context(), tenant))
+	s.mux.ServeHTTP(w, r)
+}
+
+// reject answers an admission rejection: counts it under
+// daemon_rejected_total{reason,tenant} and writes the error envelope.
+func (s *server) reject(w http.ResponseWriter, reason, tenant string, status int, code string, err error) {
+	s.rejected(reason, tenant).Inc()
+	httpError(w, status, code, err)
 }
 
 // enablePprof mounts the net/http/pprof handlers (opt-in via -pprof:
@@ -403,6 +524,18 @@ func (s *server) openData(dir string) error {
 	}
 	s.store = store
 	s.jnl = jnl
+	// Rebuild the per-tenant corpus usage backing the corpus-bytes
+	// quota from the entry sidecars (entries older than tenant
+	// attribution count against the anonymous tenant).
+	s.mu.Lock()
+	for _, e := range store.Entries() {
+		tenant := e.Tenant
+		if tenant == "" {
+			tenant = anonTenant
+		}
+		s.corpusUsed[tenant] += e.Size
+	}
+	s.mu.Unlock()
 	s.replay(recs)
 	return nil
 }
@@ -432,6 +565,7 @@ func (s *server) replay(recs []journalRecord) {
 				Submitted: rec.Time,
 				Spec:      *rec.Spec,
 				Digest:    rec.Digest,
+				Tenant:    rec.Tenant,
 				TraceID:   rec.TraceID,
 			}
 			s.jobs[j.ID] = j
@@ -582,7 +716,7 @@ func (s *server) journalSnapshot() []journalRecord {
 		j := s.jobs[id]
 		recs = append(recs, journalRecord{
 			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
-			TraceID: j.TraceID,
+			Tenant: j.Tenant, TraceID: j.TraceID,
 		})
 		fin := j.Submitted
 		if j.Finished != nil {
@@ -655,6 +789,13 @@ func (s *server) worker() {
 		}
 
 		fin := time.Now()
+		// Fold the wall time into the EWMA feeding queue-full
+		// Retry-After (racy read-modify-write is fine: it is a hint).
+		wall := fin.Sub(now).Nanoseconds()
+		if old := s.avgJobNs.Load(); old > 0 {
+			wall = (3*old + wall) / 4
+		}
+		s.avgJobNs.Store(wall)
 		jt := tracer.Finish()
 		s.flight.Add(j.ID, jt)
 		rec := journalRecord{ID: j.ID, Time: fin, Key: key, Cached: hit, TraceID: jt.TraceID}
@@ -701,6 +842,25 @@ func (s *server) worker() {
 			s.jnl.append(rec)
 		}
 	}
+}
+
+// queueRetryAfter derives the queue-full Retry-After from load: the
+// time the executors need to work off the current backlog at the
+// recent average job duration, clamped to [1s, 2m]. Before any job
+// has finished, a conservative half-second average applies.
+func (s *server) queueRetryAfter() time.Duration {
+	avg := time.Duration(s.avgJobNs.Load())
+	if avg <= 0 {
+		avg = 500 * time.Millisecond
+	}
+	d := time.Duration(float64(avg) * float64(len(s.queue)+1) / float64(s.executors))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 2*time.Minute {
+		d = 2 * time.Minute
+	}
+	return d
 }
 
 // prune enforces the retention bounds; the caller holds s.mu. Oldest
@@ -783,11 +943,38 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		specError(w, err)
 		return
 	}
+	tenant := tenantFrom(r.Context())
+	// Quotas gate valid submits before the queue: a tenant at its own
+	// limit is that tenant's problem (403), not server overload.
+	if q := s.adm.quota.JobsPerMin; q > 0 {
+		if ok, wait := s.adm.jobBucket(tenant).take(); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			s.reject(w, "quota_jobs_per_min", tenant, http.StatusForbidden, "quota_exceeded",
+				fmt.Errorf("tenant %q exceeded its %d jobs/min quota", tenant, q))
+			return
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "shutting_down", fmt.Errorf("server shutting down"))
 		return
+	}
+	// Concurrent-jobs quota, atomically with the enqueue below so
+	// parallel submits cannot slip past the count.
+	if q := s.adm.quota.ConcurrentJobs; q > 0 {
+		active := 0
+		for _, j := range s.jobs {
+			if j.Tenant == tenant && (j.State == stateQueued || j.State == stateRunning) {
+				active++
+			}
+		}
+		if active >= q {
+			s.mu.Unlock()
+			s.reject(w, "quota_concurrent_jobs", tenant, http.StatusForbidden, "quota_exceeded",
+				fmt.Errorf("tenant %q already has %d jobs queued or running (concurrent-jobs quota %d)", tenant, active, q))
+			return
+		}
 	}
 	s.nextID++
 	tc := obs.TraceContextFrom(r.Context())
@@ -798,6 +985,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Submitted:   time.Now(),
 		Spec:        spec,
 		Digest:      digest,
+		Tenant:      tenant,
 		TraceID:     tc.TraceID,
 		traceParent: tc,
 	}
@@ -819,7 +1007,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// record — replay depends on that order.
 		s.jnl.append(journalRecord{
 			Op: journalSubmit, ID: j.ID, Time: j.Submitted, Spec: &j.Spec, Digest: j.Digest,
-			TraceID: j.TraceID,
+			Tenant: j.Tenant, TraceID: j.TraceID,
 		})
 	}
 	// Captured under the lock: a fast job can finish (and the worker
@@ -828,7 +1016,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, traceID := j.ID, j.TraceID
 	s.mu.Unlock()
 	if !queued {
-		httpError(w, http.StatusServiceUnavailable, "queue_full", fmt.Errorf("job queue full"))
+		// Shed rather than block: 429 with a load-derived Retry-After
+		// (time for the executors to work off the backlog), so a
+		// well-behaved client backs off proportionally to the overload.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.queueRetryAfter()))
+		s.reject(w, "queue_full", tenant, http.StatusTooManyRequests, "queue_full",
+			fmt.Errorf("job queue full (%d queued); retry after the backlog drains", s.queueCap))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -1044,22 +1237,61 @@ func (s *server) handleCorpusIngest(w http.ResponseWriter, r *http.Request) {
 	if store == nil {
 		return
 	}
-	entry, created, err := store.Ingest(r.Body, r.URL.Query().Get("format"))
-	if err != nil {
-		// Undecodable uploads are the client's fault; anything else
-		// (disk full, unwritable store) is ours.
-		status, code := http.StatusInternalServerError, "internal"
-		if errors.Is(err, corpus.ErrBadTrace) {
-			status, code = http.StatusBadRequest, "bad_trace"
+	tenant := tenantFrom(r.Context())
+	var body io.Reader = r.Body
+	if s.maxUpload > 0 {
+		// MaxBytesReader aborts the streaming ingest mid-body; the
+		// store's staging discipline removes the partial spool.
+		body = http.MaxBytesReader(w, r.Body, s.maxUpload)
+	}
+	if q := s.adm.quota.CorpusBytes; q > 0 {
+		s.mu.Lock()
+		used := s.corpusUsed[tenant]
+		s.mu.Unlock()
+		if used >= q {
+			s.reject(w, "quota_corpus_bytes", tenant, http.StatusForbidden, "quota_exceeded",
+				fmt.Errorf("tenant %q has %d corpus bytes stored (quota %d)", tenant, used, q))
+			return
 		}
-		httpError(w, status, code, err)
+		body = &quotaReader{r: body, remaining: q - used}
+	}
+	entry, created, err := store.IngestAs(body, r.URL.Query().Get("format"), tenant)
+	if err != nil {
+		s.corpusIngestError(w, tenant, err)
 		return
+	}
+	if created {
+		s.mu.Lock()
+		s.corpusUsed[tenant] += entry.Size
+		s.mu.Unlock()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if created {
 		w.WriteHeader(http.StatusCreated)
 	}
 	json.NewEncoder(w).Encode(map[string]any{"created": created, "entry": entry})
+}
+
+// corpusIngestError classifies an ingest failure onto the error
+// contract. Cap and quota sentinels travel wrapped inside the decode
+// error chain (the reader fails mid-stream), so they are checked
+// before the ErrBadTrace chain they may share.
+func (s *server) corpusIngestError(w http.ResponseWriter, tenant string, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		s.reject(w, "payload_too_large", tenant, http.StatusRequestEntityTooLarge, "payload_too_large",
+			fmt.Errorf("upload exceeds the %d-byte cap", s.maxUpload))
+	case errors.Is(err, errCorpusQuota):
+		s.reject(w, "quota_corpus_bytes", tenant, http.StatusForbidden, "quota_exceeded",
+			fmt.Errorf("upload would take tenant %q past its corpus-bytes quota (%d)", tenant, s.adm.quota.CorpusBytes))
+	case errors.Is(err, corpus.ErrBadTrace):
+		// Undecodable uploads are the client's fault; anything else
+		// (disk full, unwritable store) is ours.
+		httpError(w, http.StatusBadRequest, "bad_trace", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "internal", err)
+	}
 }
 
 func (s *server) handleCorpusList(w http.ResponseWriter, r *http.Request) {

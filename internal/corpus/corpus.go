@@ -45,6 +45,10 @@ type Entry struct {
 	Format string `json:"format"`
 	// Size is the blob length in bytes.
 	Size int64 `json:"size"`
+	// Tenant is the identity that first ingested the blob ("" before
+	// multi-tenant servers, or for anonymous ingest); servers charge
+	// the blob's bytes against this tenant's quota.
+	Tenant string `json:"tenant,omitempty"`
 	// Name/Workload/Set/TsdevKnown mirror the trace metadata.
 	Name       string `json:"name,omitempty"`
 	Workload   string `json:"workload,omitempty"`

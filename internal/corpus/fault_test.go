@@ -1,0 +1,179 @@
+package corpus
+
+// Fault-injection coverage for the store's durable write paths: an
+// ENOSPC/EIO from the disk must come back as a storage error (never
+// ErrBadTrace, which servers map to a client 4xx) and must leave the
+// store consistent — no catalogued entry, staging leftovers that GC
+// removes, and a clean retry once the fault clears.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// tmpEntries lists the store's staging directory.
+func tmpEntries(t *testing.T, s *Store) []string {
+	t.Helper()
+	des, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		names = append(names, de.Name())
+	}
+	return names
+}
+
+func TestIngestSpoolFaultIsStorageError(t *testing.T) {
+	s := openStore(t)
+	fi := faultfs.New()
+	s.SetFaultInjector(fi)
+	data := csvBytes(t, sampleTrace())
+
+	fi.Fail(faultfs.SinkCorpusObject, 16, syscall.ENOSPC)
+	_, _, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err == nil {
+		t.Fatal("ingest succeeded under an ENOSPC spool fault")
+	}
+	if errors.Is(err, ErrBadTrace) {
+		t.Fatalf("spool fault classified as a bad trace (client fault): %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC lost from the chain: %v", err)
+	}
+	if fi.Hits(faultfs.SinkCorpusObject) == 0 {
+		t.Fatal("fault rule never fired")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("catalogue holds %d entries after a failed ingest", s.Len())
+	}
+	if names := tmpEntries(t, s); len(names) != 0 {
+		t.Fatalf("staging leftovers after failed ingest: %v", names)
+	}
+
+	// Same bytes land cleanly once the disk recovers.
+	fi.Clear(faultfs.SinkCorpusObject)
+	if _, created, err := s.Ingest(bytes.NewReader(data), "csv"); err != nil || !created {
+		t.Fatalf("retry after clearing the fault: created=%v err=%v", created, err)
+	}
+}
+
+// A parallel-ingest store hits the same classification: the fault
+// fires inside the probe/parallel pipeline rather than the sequential
+// decoder.
+func TestIngestSpoolFaultParallel(t *testing.T) {
+	s := openStore(t)
+	s.SetParallel(4)
+	fi := faultfs.New()
+	s.SetFaultInjector(fi)
+	data := csvBytes(t, sampleTrace())
+
+	fi.Fail(faultfs.SinkCorpusObject, 8, syscall.EIO)
+	_, _, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err == nil || errors.Is(err, ErrBadTrace) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("parallel ingest under EIO: %v", err)
+	}
+	if names := tmpEntries(t, s); len(names) != 0 {
+		t.Fatalf("staging leftovers: %v", names)
+	}
+}
+
+// A short write models the torn spool a dying device leaves: part of
+// the failing write lands, the error still surfaces, nothing is
+// catalogued.
+func TestIngestSpoolShortWrite(t *testing.T) {
+	s := openStore(t)
+	fi := faultfs.New()
+	s.SetFaultInjector(fi)
+	data := csvBytes(t, sampleTrace())
+
+	fi.FailShort(faultfs.SinkCorpusObject, 10, syscall.ENOSPC)
+	_, _, err := s.Ingest(bytes.NewReader(data), "csv")
+	if err == nil || errors.Is(err, ErrBadTrace) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short-write ingest: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("torn spool was catalogued")
+	}
+}
+
+func TestStoreResultFaultLeavesCacheConsistent(t *testing.T) {
+	s := openStore(t)
+	fi := faultfs.New()
+	s.SetFaultInjector(fi)
+
+	e, _, err := s.Ingest(bytes.NewReader(csvBytes(t, sampleTrace())), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+
+	fi.Fail(faultfs.SinkCorpusResult, 4, syscall.ENOSPC)
+	_, err = s.StoreResult(key, e.Digest, nil, func(w io.Writer) error {
+		_, werr := w.Write([]byte("reconstructed output bytes"))
+		return werr
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("StoreResult under ENOSPC: %v", err)
+	}
+	if _, _, ok := s.LookupResult(key); ok {
+		t.Fatal("failed result visible in the cache")
+	}
+	if names := tmpEntries(t, s); len(names) != 0 {
+		t.Fatalf("staging leftovers after failed result fill: %v", names)
+	}
+
+	// GC on a store with (synthesized) leftovers stays clean, and the
+	// fill succeeds after the fault clears.
+	fi.Clear(faultfs.SinkCorpusResult)
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.StoreResult(key, e.Digest, nil, func(w io.Writer) error {
+		_, werr := w.Write([]byte("reconstructed output bytes"))
+		return werr
+	})
+	if err != nil {
+		t.Fatalf("retry after clearing the fault: %v", err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("stored result missing: %v", err)
+	}
+}
+
+func TestIngestAsRecordsTenant(t *testing.T) {
+	s := openStore(t)
+	data := csvBytes(t, sampleTrace())
+	e, created, err := s.IngestAs(bytes.NewReader(data), "csv", "alice")
+	if err != nil || !created {
+		t.Fatalf("ingest: created=%v err=%v", created, err)
+	}
+	if e.Tenant != "alice" {
+		t.Fatalf("tenant = %q", e.Tenant)
+	}
+	// Dedup: the first ingester keeps the attribution.
+	e2, created, err := s.IngestAs(bytes.NewReader(data), "csv", "bob")
+	if err != nil || created {
+		t.Fatalf("dedup ingest: created=%v err=%v", created, err)
+	}
+	if e2.Tenant != "alice" {
+		t.Fatalf("dedup tenant = %q, want the original ingester", e2.Tenant)
+	}
+	// The attribution survives a catalogue rebuild (it lives in the
+	// sidecar, the source of truth).
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve(e.Digest)
+	if err != nil || got.Tenant != "alice" {
+		t.Fatalf("after rebuild: tenant=%q err=%v", got.Tenant, err)
+	}
+}

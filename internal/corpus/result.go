@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // ResultMeta is the sidecar stored beside each cached result.
@@ -91,7 +93,7 @@ func (s *Store) StoreResult(key, inputDigest string, note []byte, write func(io.
 			os.Remove(tmpName)
 		}
 	}()
-	if err := write(tmpf); err != nil {
+	if err := write(s.sinkWriter(faultfs.SinkCorpusResult, tmpf)); err != nil {
 		return "", err
 	}
 	if err := tmpf.Close(); err != nil {

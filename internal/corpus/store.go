@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -30,6 +31,11 @@ type Store struct {
 
 	// metrics is the optional instrumentation hook (SetMetrics).
 	metrics atomic.Pointer[obs.CorpusMetrics]
+
+	// faults is the optional write-fault injector (SetFaultInjector):
+	// resilience tests arm it to prove disk faults surface as storage
+	// errors with the store left consistent.
+	faults atomic.Pointer[faultfs.Injector]
 
 	mu      sync.Mutex
 	entries map[string]Entry
@@ -49,6 +55,21 @@ func (s *Store) SetParallel(n int) {
 // traffic. Safe to call concurrently with store operations.
 func (s *Store) SetMetrics(m *obs.CorpusMetrics) {
 	s.metrics.Store(m)
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a write-fault
+// injector covering the store's durable write paths: the ingest blob
+// spool (faultfs.SinkCorpusObject) and the result-cache fill
+// (faultfs.SinkCorpusResult). Test-only; safe to call concurrently
+// with store operations.
+func (s *Store) SetFaultInjector(in *faultfs.Injector) {
+	s.faults.Store(in)
+}
+
+// sinkWriter wraps w with the attached fault injector's rule for sink
+// (a pass-through when none is attached).
+func (s *Store) sinkWriter(sink string, w io.Writer) io.Writer {
+	return s.faults.Load().Writer(sink, w)
 }
 
 // Open opens (creating if needed) the store rooted at root. The
@@ -143,6 +164,24 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// spoolWriter forwards to the blob staging file and remembers the
+// first write error. The spool sits inside the ingest tee, so its
+// failures reach the decoder as read errors and would otherwise be
+// wrapped in ErrBadTrace — blaming the client for a dying disk. The
+// recorded error lets Ingest re-classify them as storage faults.
+type spoolWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *spoolWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	return n, err
+}
+
 // Ingest streams one trace into the store: the blob is staged to tmp/
 // while a single pass computes the SHA-256 digest and the metadata
 // summary through the format decoder, then lands atomically. format
@@ -152,8 +191,18 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 //
 // A trace that fails to decode, or decodes to zero requests, is
 // rejected and nothing is stored — the corpus only holds traces the
-// pipeline can actually read.
+// pipeline can actually read. Errors from the upload side (including
+// anything the reader r returns) keep their chain, so callers can
+// classify wrapped sentinels like http.MaxBytesError; errors from the
+// store's own disk are never wrapped in ErrBadTrace.
 func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
+	return s.IngestAs(r, format, "")
+}
+
+// IngestAs is Ingest with a tenant attribution recorded on the entry
+// for per-tenant accounting. On dedup the existing entry (and its
+// original tenant) wins.
+func (s *Store) IngestAs(r io.Reader, format, tenant string) (Entry, bool, error) {
 	switch format {
 	case "", "auto":
 		var err error
@@ -177,7 +226,17 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 
 	h := sha256.New()
 	cw := &countingWriter{}
-	tee := io.TeeReader(r, io.MultiWriter(h, cw, tmpf))
+	spool := &spoolWriter{w: s.sinkWriter(faultfs.SinkCorpusObject, tmpf)}
+	// storageErr substitutes the spool's own failure for err: a decode
+	// that died because the staging write died is a storage fault, not
+	// a bad trace.
+	storageErr := func(err error) error {
+		if spool.err != nil {
+			return fmt.Errorf("corpus: spooling ingest: %w", spool.err)
+		}
+		return err
+	}
+	tee := io.TeeReader(r, io.MultiWriter(h, cw, spool))
 	var dec trace.Decoder
 	if workers := int(s.parallel.Load()); workers > 1 {
 		// Probe the first ParallelMinBytes before fanning out: a small
@@ -190,7 +249,7 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 		n, rerr := io.ReadFull(tee, head)
 		head = head[:n]
 		if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
-			return Entry{}, false, rerr
+			return Entry{}, false, storageErr(rerr)
 		}
 		if rerr != nil { // whole upload fits in the probe
 			sd, serr := trace.NewDecoder(format, bytes.NewReader(head))
@@ -208,6 +267,9 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 			// drain.
 			pd, perr := trace.NewStreamParallelDecoder(io.MultiReader(bytes.NewReader(head), tee), format, workers)
 			if perr != nil {
+				if spool.err != nil {
+					return Entry{}, false, storageErr(perr)
+				}
 				return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, perr)
 			}
 			defer pd.Close()
@@ -216,12 +278,18 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 	} else {
 		sd, serr := trace.NewDecoder(format, tee)
 		if serr != nil {
+			if spool.err != nil {
+				return Entry{}, false, storageErr(serr)
+			}
 			return Entry{}, false, fmt.Errorf("%w: %w", ErrBadTrace, serr)
 		}
 		dec = sd
 	}
 	sum, err := trace.Summarize(dec)
 	if err != nil {
+		if spool.err != nil {
+			return Entry{}, false, storageErr(err)
+		}
 		return Entry{}, false, fmt.Errorf("%w: as %s: %w", ErrBadTrace, format, err)
 	}
 	if sum.Requests == 0 {
@@ -230,7 +298,7 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 	// Counted binary headers let the decoder stop before EOF; drain the
 	// remainder so the digest and stored blob cover every input byte.
 	if _, err := io.Copy(io.Discard, tee); err != nil {
-		return Entry{}, false, err
+		return Entry{}, false, storageErr(err)
 	}
 	if err := tmpf.Close(); err != nil {
 		return Entry{}, false, err
@@ -241,6 +309,7 @@ func (s *Store) Ingest(r io.Reader, format string) (Entry, bool, error) {
 		Digest:       digest,
 		Format:       format,
 		Size:         cw.n,
+		Tenant:       tenant,
 		Name:         sum.Meta.Name,
 		Workload:     sum.Meta.Workload,
 		Set:          sum.Meta.Set,

@@ -1,0 +1,131 @@
+// Package faultfs injects write faults into the durability layer's
+// storage sinks, for tests that prove a dying disk degrades the
+// service instead of corrupting it. A sink is a named write path
+// (corpus object spool, result-cache fill, job journal append); a
+// component that supports fault injection wraps its writer with
+// Injector.Writer under the sink's name, which is a no-op until a test
+// arms a rule with Fail or FailShort.
+//
+// Rules fire byte-accurately: the first afterBytes pass through
+// untouched, then every write fails with the configured error —
+// usually a real errno such as syscall.ENOSPC or syscall.EIO, so
+// errors.Is works on the propagated chain exactly as it would for the
+// genuine fault. FailShort additionally commits the remaining
+// allowance before failing, modelling a torn (short) write.
+package faultfs
+
+import (
+	"io"
+	"sync"
+)
+
+// Sink names for the repo's durability write paths.
+const (
+	// SinkCorpusObject is the ingest blob spool (corpus tmp/ staging).
+	SinkCorpusObject = "corpus.object"
+	// SinkCorpusResult is the result-cache fill.
+	SinkCorpusResult = "corpus.result"
+	// SinkJournal is the daemon's job-journal append.
+	SinkJournal = "daemon.journal"
+)
+
+// rule is one armed fault: pass allow bytes, then fail with err.
+type rule struct {
+	allow int64
+	err   error
+	short bool
+}
+
+// Injector holds the armed fault rules, keyed by sink. The zero value
+// is not usable; construct with New. A nil *Injector is inert.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string]*rule
+	hits  map[string]int
+}
+
+// New returns an Injector with no rules armed: every wrapped writer
+// passes bytes through until a rule is set.
+func New() *Injector {
+	return &Injector{rules: make(map[string]*rule), hits: make(map[string]int)}
+}
+
+// Fail arms sink to pass afterBytes through and then fail every write
+// with err (whole writes are rejected: no bytes of the failing write
+// land). Re-arming a sink replaces its rule and allowance.
+func (in *Injector) Fail(sink string, afterBytes int64, err error) {
+	in.set(sink, &rule{allow: afterBytes, err: err})
+}
+
+// FailShort is Fail, but the write that exhausts the allowance is torn
+// rather than rejected: its first bytes (up to the allowance) reach
+// the underlying writer before the error returns — the shape a real
+// device leaves when it dies mid-write.
+func (in *Injector) FailShort(sink string, afterBytes int64, err error) {
+	in.set(sink, &rule{allow: afterBytes, err: err, short: true})
+}
+
+func (in *Injector) set(sink string, r *rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[sink] = r
+}
+
+// Clear disarms sink; wrapped writers pass through again.
+func (in *Injector) Clear(sink string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, sink)
+}
+
+// Hits reports how many writes sink's rule has failed since it was
+// armed — a test asserting Hits > 0 knows the fault actually fired
+// rather than the code path silently not writing.
+func (in *Injector) Hits(sink string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[sink]
+}
+
+// Writer wraps w with sink's fault rule. Safe on a nil Injector
+// (returns w unchanged); the wrapper consults the rule on every write,
+// so arming or clearing mid-stream takes effect immediately.
+func (in *Injector) Writer(sink string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, sink: sink, w: w}
+}
+
+type faultWriter struct {
+	in   *Injector
+	sink string
+	w    io.Writer
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	f.in.mu.Lock()
+	r := f.in.rules[f.sink]
+	if r == nil {
+		f.in.mu.Unlock()
+		return f.w.Write(p)
+	}
+	if int64(len(p)) <= r.allow {
+		r.allow -= int64(len(p))
+		f.in.mu.Unlock()
+		return f.w.Write(p)
+	}
+	n := r.allow
+	r.allow = 0
+	f.in.hits[f.sink]++
+	err, short := r.err, r.short
+	f.in.mu.Unlock()
+	if short && n > 0 {
+		wn, werr := f.w.Write(p[:n])
+		if werr != nil {
+			return wn, werr
+		}
+		return wn, err
+	}
+	return 0, err
+}

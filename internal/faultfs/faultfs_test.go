@@ -1,0 +1,92 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestPassThroughWithoutRule(t *testing.T) {
+	in := New()
+	var buf bytes.Buffer
+	w := in.Writer(SinkJournal, &buf)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatalf("unarmed writer failed: %v", err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("unarmed writer wrote %q", buf.String())
+	}
+	if in.Hits(SinkJournal) != 0 {
+		t.Fatalf("unarmed sink recorded hits")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	var buf bytes.Buffer
+	if w := in.Writer(SinkCorpusObject, &buf); w != &buf {
+		t.Fatalf("nil injector should return the writer unchanged")
+	}
+}
+
+func TestFailAfterBytes(t *testing.T) {
+	in := New()
+	var buf bytes.Buffer
+	w := in.Writer(SinkCorpusObject, &buf)
+	in.Fail(SinkCorpusObject, 8, syscall.ENOSPC)
+
+	if _, err := w.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within allowance failed: %v", err)
+	}
+	n, err := w.Write([]byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got n=%d err=%v", n, err)
+	}
+	if n != 0 {
+		t.Fatalf("non-short rule leaked %d bytes of the failing write", n)
+	}
+	if buf.String() != "12345678" {
+		t.Fatalf("buffer holds %q", buf.String())
+	}
+	// The rule keeps failing until cleared.
+	if _, err := w.Write([]byte("y")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write after fault: %v", err)
+	}
+	if in.Hits(SinkCorpusObject) != 2 {
+		t.Fatalf("hits = %d, want 2", in.Hits(SinkCorpusObject))
+	}
+
+	in.Clear(SinkCorpusObject)
+	if _, err := w.Write([]byte("z")); err != nil {
+		t.Fatalf("write after Clear failed: %v", err)
+	}
+}
+
+func TestFailShortTearsTheWrite(t *testing.T) {
+	in := New()
+	var buf bytes.Buffer
+	w := in.Writer(SinkJournal, &buf)
+	in.FailShort(SinkJournal, 3, syscall.EIO)
+
+	n, err := w.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got n=%d err=%v", n, err)
+	}
+	if n != 3 || buf.String() != "abc" {
+		t.Fatalf("torn write landed n=%d buf=%q, want 3 bytes %q", n, buf.String(), "abc")
+	}
+}
+
+func TestMidStreamArming(t *testing.T) {
+	in := New()
+	var buf bytes.Buffer
+	w := in.Writer(SinkCorpusResult, &buf)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	in.Fail(SinkCorpusResult, 0, syscall.ENOSPC)
+	if _, err := w.Write([]byte("no")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rule armed mid-stream did not fire: %v", err)
+	}
+}
