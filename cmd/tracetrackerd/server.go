@@ -204,13 +204,13 @@ type server struct {
 	executors int
 
 	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	nextID int
-	closed bool
+	jobs   map[string]*job // guarded by mu
+	order  []string        // guarded by mu
+	nextID int             // guarded by mu
+	closed bool            // guarded by mu
 	// corpusUsed is the per-tenant ingested corpus bytes (rebuilt from
 	// entry sidecars by openData, maintained on upload) backing the
-	// corpus-bytes quota.
+	// corpus-bytes quota. guarded by mu
 	corpusUsed map[string]int64
 
 	queue chan *job
@@ -459,6 +459,8 @@ func (s *server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
 
 // reject answers an admission rejection: counts it under
 // daemon_rejected_total{reason,tenant} and writes the error envelope.
+//
+//tracelint:errcode-sink 4
 func (s *server) reject(w http.ResponseWriter, reason, tenant string, status int, code string, err error) {
 	s.rejected(reason, tenant).Inc()
 	httpError(w, status, code, err)
@@ -866,6 +868,8 @@ func (s *server) queueRetryAfter() time.Duration {
 // prune enforces the retention bounds; the caller holds s.mu. Oldest
 // in-memory result traces beyond retainResults are evicted, and the
 // oldest finished job records beyond retainJobs are dropped.
+//
+//tracelint:holds mu
 func (s *server) prune() {
 	resident := 0
 	for _, id := range s.order {
@@ -1378,6 +1382,8 @@ type apiError struct {
 
 // httpError writes the structured error envelope: a stable
 // machine-readable code plus a human-readable message.
+//
+//tracelint:errcode-sink 2
 func httpError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -38,7 +38,7 @@ type Store struct {
 	faults atomic.Pointer[faultfs.Injector]
 
 	mu      sync.Mutex
-	entries map[string]Entry
+	entries map[string]Entry // guarded by mu
 }
 
 // SetParallel sets the number of decode workers Ingest uses (values
@@ -114,6 +114,8 @@ type index struct {
 // writeIndexLocked rewrites index.json from the catalogue; the caller
 // holds s.mu. The index is a convenience export (one file to read the
 // whole catalogue); the sidecars stay authoritative.
+//
+//tracelint:holds mu
 func (s *Store) writeIndexLocked() error {
 	return writeJSONAtomic(s.tmpDir(), s.indexPath(), index{Version: 1, Entries: s.entries})
 }
@@ -121,6 +123,8 @@ func (s *Store) writeIndexLocked() error {
 // rebuildLocked reconstructs the catalogue from the object sidecars
 // (the source of truth) and rewrites index.json. Sidecars without a
 // blob are skipped; blobs without a sidecar are left for GC.
+//
+//tracelint:holds mu
 func (s *Store) rebuildLocked() error {
 	names, err := os.ReadDir(s.objectsDir())
 	if err != nil {

@@ -62,6 +62,8 @@ func (w *workerScratch) grow(n int) ([]time.Duration, []bool) {
 // emulation writes in place over s.reqs — the original request data is
 // fully consumed by the decomposition first — so a shard costs no
 // output allocation at all.
+//
+//tracelint:hotpath
 func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device.Device, scr *workerScratch) shardResult {
 	ctx := infer.ShardContext{
 		TsdevKnown:  useRecorded,
@@ -137,11 +139,11 @@ func (e *Engine) runShard(s *shard, m *infer.Model, useRecorded bool, dev device
 // (bytes) through the same pool.
 type bufPool struct {
 	mu    sync.Mutex
-	reqs  [][]trace.Request
-	seqs  [][]bool
-	durs  [][]time.Duration
-	flags [][]bool
-	bytes [][]byte
+	reqs  [][]trace.Request // guarded by mu
+	seqs  [][]bool          // guarded by mu
+	durs  [][]time.Duration // guarded by mu
+	flags [][]bool          // guarded by mu
+	bytes [][]byte          // guarded by mu
 }
 
 func (p *bufPool) getReqs() []trace.Request {

@@ -123,7 +123,7 @@ type ValidationError struct {
 	// Field is the JSON field path, e.g. "device" or "ftl_config.blocks".
 	Field string
 	// Code is the stable cause, e.g. "unknown_device".
-	Code string
+	Code string //tracelint:errcode-field
 	msg  string
 }
 

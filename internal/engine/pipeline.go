@@ -311,6 +311,8 @@ func (e *Engine) executePipelined(produce func(submit func(shard) error) error, 
 // decomposeEpoch is the first worker stage: per-request idle/async
 // inference with the epoch's carry context. The seq flags are dead
 // afterwards and recycle immediately.
+//
+//tracelint:hotpath
 func (e *Engine) decomposeEpoch(ep *pipeEpoch, m *infer.Model, useRecorded bool, pool *bufPool) {
 	s := &ep.s
 	ctx := infer.ShardContext{
@@ -343,6 +345,8 @@ func (e *Engine) decomposeEpoch(ep *pipeEpoch, m *infer.Model, useRecorded bool,
 // runEpoch is the second worker stage: re-run the epoch's emulation
 // from the entry handoff on this worker's device, post-process to
 // final arrivals, aggregate, and (streaming) render the output bytes.
+//
+//tracelint:hotpath
 func (e *Engine) runEpoch(ep *pipeEpoch, dev device.Device, se trace.ShardEncoder, pool *bufPool, skipPost bool) pipeResult {
 	s := &ep.s
 	out := s.dst

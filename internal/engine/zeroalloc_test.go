@@ -9,6 +9,9 @@ package engine
 
 import (
 	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"io"
 	"runtime"
 	"testing"
@@ -119,4 +122,98 @@ func TestStreamReconstructAllocBound(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMeasuredHotPathsAnnotated closes the loop between this file's
+// allocation bounds and the tracelint hotpath analyzer: every function
+// on the measured path (the codec record loops exercised through
+// ReconstructStream and locked by trace/zeroalloc_test.go, and the
+// engine's per-shard/per-epoch stages locked above) must carry
+// //tracelint:hotpath, so a regression is rejected at the allocating
+// line by `go vet -vettool`, not just caught after the fact by the
+// benchmark's amortized bound.
+func TestMeasuredHotPathsAnnotated(t *testing.T) {
+	// (file, receiver type or "", function name); receivers are matched
+	// without pointer markers.
+	measured := []struct {
+		file string
+		recv string
+		name string
+	}{
+		{"../trace/stream.go", "CSVDecoder", "Next"},
+		{"../trace/stream.go", "BinaryDecoder", "Next"},
+		{"../trace/stream.go", "MSRCDecoder", "Next"},
+		{"../trace/stream.go", "SPCDecoder", "Next"},
+		{"../trace/stream.go", "", "decodeBatch"},
+		{"../trace/stream.go", "CSVEncoder", "Write"},
+		{"../trace/stream.go", "BinaryEncoder", "Write"},
+		{"../trace/stream.go", "BlktraceEncoder", "Write"},
+		{"../trace/stream.go", "FIOEncoder", "Write"},
+		{"../trace/stream.go", "CSVEncoder", "AppendRecord"},
+		{"../trace/stream.go", "BinaryEncoder", "AppendRecord"},
+		{"../trace/summary.go", "Summarizer", "Add"},
+		{"exec.go", "Engine", "runShard"},
+		{"pipeline.go", "Engine", "decomposeEpoch"},
+		{"pipeline.go", "Engine", "runEpoch"},
+	}
+	fset := token.NewFileSet()
+	parsed := map[string]*ast.File{}
+	for _, m := range measured {
+		f, ok := parsed[m.file]
+		if !ok {
+			var err error
+			f, err = parser.ParseFile(fset, m.file, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed[m.file] = f
+		}
+		fn := findFunc(f, m.recv, m.name)
+		if fn == nil {
+			t.Errorf("%s: measured function %s.%s not found", m.file, m.recv, m.name)
+			continue
+		}
+		if !hasHotpathDirective(fn) {
+			t.Errorf("%s: %s.%s is on a measured zero-alloc path but lacks //tracelint:hotpath",
+				m.file, m.recv, m.name)
+		}
+	}
+}
+
+func findFunc(f *ast.File, recv, name string) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != name {
+			continue
+		}
+		if recv == "" {
+			if fn.Recv == nil {
+				return fn
+			}
+			continue
+		}
+		if fn.Recv == nil || len(fn.Recv.List) != 1 {
+			continue
+		}
+		rt := fn.Recv.List[0].Type
+		if star, ok := rt.(*ast.StarExpr); ok {
+			rt = star.X
+		}
+		if id, ok := rt.(*ast.Ident); ok && id.Name == recv {
+			return fn
+		}
+	}
+	return nil
+}
+
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == "//tracelint:hotpath" {
+			return true
+		}
+	}
+	return false
 }

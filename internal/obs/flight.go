@@ -17,10 +17,10 @@ const DefaultFlightRecorderCapacity = 256
 type FlightRecorder struct {
 	mu      sync.Mutex
 	cap     int
-	order   []string // insertion order, oldest first
-	byID    map[string]*JobTrace
-	evicted int64
-	counter *Counter // optional eviction metric
+	order   []string             // insertion order, oldest first. guarded by mu
+	byID    map[string]*JobTrace // guarded by mu
+	evicted int64                // guarded by mu
+	counter *Counter             // optional eviction metric. guarded by mu
 }
 
 // NewFlightRecorder returns a recorder keeping at most capacity
@@ -67,6 +67,10 @@ func (f *FlightRecorder) Add(id string, jt *JobTrace) {
 	f.mu.Unlock()
 }
 
+// evictLocked drops the oldest timelines beyond cap; the caller holds
+// f.mu.
+//
+//tracelint:holds mu
 func (f *FlightRecorder) evictLocked() {
 	for len(f.order) > f.cap {
 		victim := f.order[0]

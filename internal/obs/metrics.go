@@ -127,8 +127,8 @@ type family struct {
 // panics — that is a programming error, like a duplicate expvar.
 type Registry struct {
 	mu     sync.Mutex
-	order  []*family
-	byName map[string]*family
+	order  []*family          // guarded by mu
+	byName map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

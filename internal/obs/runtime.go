@@ -17,8 +17,8 @@ import (
 type memStatsCache struct {
 	mu   sync.Mutex
 	ttl  time.Duration
-	at   time.Time
-	stat runtime.MemStats
+	at   time.Time        // guarded by mu
+	stat runtime.MemStats // guarded by mu
 }
 
 func (c *memStatsCache) get() *runtime.MemStats {

@@ -187,12 +187,12 @@ type Tracer struct {
 	parentSpan    string // incoming traceparent span ID, if any
 	name          string
 	start         time.Time
-	spans         []spanRec // cap fixed at construction; never reallocated
-	nextID        uint64
-	stride        int
-	droppedSpans  int64
-	droppedEpochs int64
-	root          Span
+	spans         []spanRec // cap fixed at construction; never reallocated. guarded by mu
+	nextID        uint64    // guarded by mu
+	stride        int       // guarded by mu
+	droppedSpans  int64     // guarded by mu
+	droppedEpochs int64     // guarded by mu
+	root          Span      // written once in NewTracer, immutable after
 }
 
 // NewTracer starts a trace for one job. capacity bounds the recorded
@@ -260,6 +260,9 @@ func (t *Tracer) Start(parent Span, name string) Span {
 	return s
 }
 
+// startLocked appends the span record; the caller holds t.mu.
+//
+//tracelint:holds mu
 func (t *Tracer) startLocked(parent Span, name string) Span {
 	if len(t.spans) == cap(t.spans) {
 		t.droppedSpans++

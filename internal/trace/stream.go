@@ -156,6 +156,8 @@ func ForEachBatch(dec Decoder, fn func([]Request) error) error {
 // instantiates it with its own type, so the inner Next calls are
 // direct (devirtualized), which is where the batch speedup comes
 // from.
+//
+//tracelint:hotpath
 func decodeBatch[D interface{ Next() (Request, error) }](d D, dst []Request) (int, error) {
 	for i := range dst {
 		r, err := d.Next()
@@ -405,6 +407,8 @@ func NewCSVDecoder(r io.Reader) *CSVDecoder {
 func (d *CSVDecoder) Meta() Meta { return d.meta }
 
 // Next implements Decoder.
+//
+//tracelint:hotpath
 func (d *CSVDecoder) Next() (Request, error) {
 	for {
 		line, err := d.ls.next()
@@ -429,6 +433,7 @@ func (d *CSVDecoder) Next() (Request, error) {
 				return Request{}, lineErrf("line", d.lineno, nil, ": metadata header after data rows")
 			}
 			d.t.applyMeta(d.meta)
+			//tracelint:ignore hotpath header-comment path: runs once per header line, not per record
 			parseHeaderComment(&d.t, string(line))
 			d.meta = d.t.Meta()
 			continue
@@ -477,6 +482,8 @@ func (e *CSVEncoder) Begin(m Meta) error {
 
 // appendCSVRecord renders one native-CSV record line, the pure
 // function behind both Write and AppendRecord.
+//
+//tracelint:hotpath
 func appendCSVRecord(b []byte, r Request) []byte {
 	b = strconv.AppendFloat(b, micros(r.Arrival), 'f', 3, 64)
 	b = append(b, ',')
@@ -498,6 +505,8 @@ func appendCSVRecord(b []byte, r Request) []byte {
 }
 
 // Write implements Encoder.
+//
+//tracelint:hotpath
 func (e *CSVEncoder) Write(r Request) error {
 	b := appendCSVRecord(e.buf[:0], r)
 	e.buf = b
@@ -506,6 +515,8 @@ func (e *CSVEncoder) Write(r Request) error {
 }
 
 // AppendRecord implements ShardEncoder.
+//
+//tracelint:hotpath
 func (e *CSVEncoder) AppendRecord(dst []byte, r Request) []byte { return appendCSVRecord(dst, r) }
 
 // WriteRaw implements ShardEncoder.
@@ -627,6 +638,8 @@ func (d *BinaryDecoder) SizeHint() int {
 // Next implements Decoder. Records are decoded in place from the read
 // buffer (Peek/Discard), so steady-state decoding never copies or
 // allocates.
+//
+//tracelint:hotpath
 func (d *BinaryDecoder) Next() (Request, error) {
 	if d.headerErr != nil {
 		return Request{}, d.headerErr
@@ -657,6 +670,8 @@ func (d *BinaryDecoder) Next() (Request, error) {
 func (d *BinaryDecoder) DecodeBatch(dst []Request) (int, error) { return decodeBatch(d, dst) }
 
 // decodeBinRecord unpacks one fixed-width record.
+//
+//tracelint:hotpath
 func decodeBinRecord(rec []byte) Request {
 	_ = rec[binRecordLen-1]
 	return Request{
@@ -690,6 +705,8 @@ func (e *BinaryEncoder) Begin(m Meta) error {
 }
 
 // Write implements Encoder.
+//
+//tracelint:hotpath
 func (e *BinaryEncoder) Write(r Request) error {
 	return writeBinaryRecord(e.bw, &e.rec, r)
 }
@@ -699,6 +716,8 @@ func (e *BinaryEncoder) Write(r Request) error {
 // function makes the inliner spill the Request through the stack per
 // record, which costs the binary encoder ~40% of its throughput. The
 // golden and shard-splice identity tests lock the two bodies together.
+//
+//tracelint:hotpath
 func (e *BinaryEncoder) AppendRecord(dst []byte, r Request) []byte {
 	var rec [binRecordLen]byte
 	binary.LittleEndian.PutUint64(rec[0:], uint64(r.Arrival))
@@ -790,6 +809,8 @@ func NewMSRCDecoder(r io.Reader) *MSRCDecoder {
 func (d *MSRCDecoder) Meta() Meta { return d.meta }
 
 // Next implements Decoder.
+//
+//tracelint:hotpath
 func (d *MSRCDecoder) Next() (Request, error) {
 	for {
 		line, err := d.ls.next()
@@ -814,6 +835,7 @@ func (d *MSRCDecoder) Next() (Request, error) {
 		}
 		if d.first {
 			d.base = ts
+			//tracelint:ignore hotpath first-record path: the workload name is captured once per stream
 			d.meta.Workload = string(f[1])
 			d.meta.Name = d.meta.Workload
 			d.first = false
@@ -876,6 +898,8 @@ func NewSPCDecoder(r io.Reader) *SPCDecoder {
 func (d *SPCDecoder) Meta() Meta { return Meta{TsdevKnown: false} }
 
 // Next implements Decoder.
+//
+//tracelint:hotpath
 func (d *SPCDecoder) Next() (Request, error) {
 	for {
 		line, err := d.ls.next()
@@ -982,6 +1006,8 @@ func (e *BlktraceEncoder) appendEvent(b []byte, dev uint32, seq int, at time.Dur
 }
 
 // Write implements Encoder.
+//
+//tracelint:hotpath
 func (e *BlktraceEncoder) Write(r Request) error {
 	rwbs := byte('R')
 	if r.Op == Write {
@@ -1026,6 +1052,8 @@ func (e *FIOEncoder) Begin(Meta) error {
 }
 
 // Write implements Encoder.
+//
+//tracelint:hotpath
 func (e *FIOEncoder) Write(r Request) error {
 	b := e.buf[:0]
 	if !e.first {

@@ -78,6 +78,8 @@ func NewSummarizer() *Summarizer {
 }
 
 // Add folds one request into the summary.
+//
+//tracelint:hotpath
 func (a *Summarizer) Add(r Request) {
 	s := &a.sum
 	if s.Requests == 0 {

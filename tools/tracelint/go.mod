@@ -1,0 +1,3 @@
+module repro/tools/tracelint
+
+go 1.23

@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"repro/tools/tracelint/internal/checks/errcode"
+	"repro/tools/tracelint/internal/lintest"
+)
+
+func TestErrcode(t *testing.T) {
+	lintest.Run(t, "testdata", errcode.Analyzer, "errcode")
+}

@@ -1,0 +1,52 @@
+// Fixture for the errcode analyzer: constant strings reaching an
+// annotated error-envelope sink must be registered stable codes.
+package errcode
+
+type responseWriter struct{}
+
+// httpError mirrors the daemon's envelope writer: parameter 2 (0-based,
+// receiver excluded) is the stable code.
+//
+//tracelint:errcode-sink 2
+func httpError(w *responseWriter, status int, code string, msg string) {}
+
+type server struct{}
+
+//tracelint:errcode-sink 4
+func (s *server) reject(w *responseWriter, reason, tenant string, status int, code string) {}
+
+// ValidationError mirrors engine.ValidationError: Code reaches the
+// envelope through the daemon's specError translation.
+type ValidationError struct {
+	Field string
+	Code  string //tracelint:errcode-field
+}
+
+func emit(w *responseWriter, s *server, dynamic string) {
+	httpError(w, 400, "bad_json", "malformed body")
+	httpError(w, 404, "unknown_job", "no such job")
+	httpError(w, 400, "bad_jsonn", "typo")    // want `error code "bad_jsonn" is not in the stable-code set`
+	httpError(w, 500, "internal_oops", "new") // want `error code "internal_oops" is not in the stable-code set`
+
+	s.reject(w, "over quota", "t1", 429, "quota_exceeded")
+	s.reject(w, "over quota", "t1", 429, "quota_exceded") // want `error code "quota_exceded" is not in the stable-code set`
+
+	// Non-constant codes pass: the analyzer checks the literal
+	// vocabulary, not data flow.
+	httpError(w, 400, dynamic, "runtime-selected code")
+}
+
+func build(cond bool) *ValidationError {
+	if cond {
+		return &ValidationError{Field: "device", Code: "unknown_device"}
+	}
+	v := &ValidationError{Field: "spec", Code: "bad_specc"} // want `error code "bad_specc" is not in the stable-code set`
+	v.Code = "bad_spec"
+	v.Code = "not_a_code" // want `error code "not_a_code" is not in the stable-code set`
+	return v
+}
+
+func suppressed(w *responseWriter) {
+	//tracelint:ignore errcode fixture demonstrating a reviewed legacy code
+	httpError(w, 410, "legacy_gone", "kept for a grandfathered client")
+}

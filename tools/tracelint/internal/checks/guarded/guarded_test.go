@@ -1,0 +1,12 @@
+package guarded_test
+
+import (
+	"testing"
+
+	"repro/tools/tracelint/internal/checks/guarded"
+	"repro/tools/tracelint/internal/lintest"
+)
+
+func TestGuarded(t *testing.T) {
+	lintest.Run(t, "testdata", guarded.Analyzer, "guarded")
+}

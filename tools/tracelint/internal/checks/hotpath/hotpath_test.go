@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/tools/tracelint/internal/checks/hotpath"
+	"repro/tools/tracelint/internal/lintest"
+)
+
+func TestHotpath(t *testing.T) {
+	lintest.Run(t, "testdata", hotpath.Analyzer, "hotpath")
+}

@@ -1,0 +1,72 @@
+// Fixture for the hotpath analyzer: functions annotated
+// //tracelint:hotpath must not contain per-execution allocations.
+package hotpath
+
+import "fmt"
+
+type record struct {
+	seq  uint64
+	dur  int64
+	tags []string
+}
+
+//tracelint:hotpath
+func violations(buf []byte, r *record) {
+	fmt.Printf("seq=%d\n", r.seq) // want `fmt\.Printf allocates`
+	s := string(buf)              // want `\[\]byte-to-string conversion copies its operand`
+	b := []byte(s)                // want `string-to-slice conversion copies its operand`
+	msg := "seq " + s             // want `non-constant string concatenation allocates`
+	f := func() {}                // want `function literal allocates its closure environment`
+	xs := []int{1, 2, 3}          // want `slice literal allocates its backing array`
+	m := map[string]int{}         // want `map literal allocates`
+	p := &record{}                // want `address of composite literal escapes to the heap`
+	q := make([]byte, 8)          // want `make allocates`
+	n := new(record)              // want `new allocates`
+	_, _, _, _, _, _, _, _ = b, msg, f, xs, m, p, q, n
+}
+
+//tracelint:hotpath
+func clean(buf []byte, r *record) int {
+	// The idioms the real codecs use: index, append into a caller
+	// buffer, constant strings, arithmetic.
+	total := 0
+	for i := 0; i < len(buf); i++ {
+		total += int(buf[i])
+	}
+	buf = append(buf, 0x7f)
+	const tag = "csv" + "/v1"
+	r.seq++
+	var arr [4]byte
+	arr[0] = byte(total)
+	return total + int(arr[0])
+}
+
+//tracelint:hotpath
+func errorPathExempt(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		// Building the error you are about to return is the cold
+		// path; steady-state records do not error.
+		return 0, fmt.Errorf("empty record at %q", string(buf))
+	}
+	return int(buf[0]), nil
+}
+
+//tracelint:hotpath
+func errorPathOnlyCoversReturns(buf []byte) (int, error) {
+	s := string(buf) // want `\[\]byte-to-string conversion copies its operand`
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	return len(s), nil
+}
+
+//tracelint:hotpath
+func suppressed(buf []byte) string {
+	//tracelint:ignore hotpath header path, runs once per stream not per record
+	return string(buf)
+}
+
+// Unannotated functions may allocate freely.
+func coldPath(r *record) string {
+	return fmt.Sprintf("%+v", r)
+}

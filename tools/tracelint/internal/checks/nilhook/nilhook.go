@@ -1,0 +1,396 @@
+// Package nilhook enforces the nil-safe observability-hook contract
+// from the PR 6 instrumentation layer: the engine and corpus accept
+// `*obs.EngineMetrics` / `*obs.CorpusMetrics` hook pointers that are
+// nil when instrumentation is off, and the zero-allocation hot path
+// stays untouched only because every dereference of a hook is behind
+// an `if hook != nil` guard (methods *on* the hook itself are
+// nil-receiver-safe by package convention and exempt).
+//
+// A method call reached through a hook field — `mtr.Epochs.Inc()`,
+// `cfg.Metrics.CacheHits.Inc()` — panics on a nil hook, so it must be
+// dominated by a nil check of the same expression: an enclosing
+// `if hook != nil` branch, or an earlier `if hook == nil { return }`
+// in the same block. The check is syntactic and conservative; it
+// tracks guards by normalized expression text.
+package nilhook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/tracelint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "nilhook",
+	Doc: "method calls through obs hook fields must be dominated by a nil check\n\n" +
+		"A nil *obs.EngineMetrics / *obs.CorpusMetrics disables instrumentation; " +
+		"dereferencing one outside an `if hook != nil` guard panics exactly when " +
+		"instrumentation is off.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.block(fn.Body.List, newGuards(nil))
+		}
+	}
+	return nil
+}
+
+// guards is a lexically scoped set of expressions (by normalized
+// source text) known non-nil at the current point.
+type guards struct {
+	parent *guards
+	set    map[string]bool
+}
+
+func newGuards(parent *guards) *guards {
+	return &guards{parent: parent, set: make(map[string]bool)}
+}
+
+func (g *guards) has(expr string) bool {
+	for s := g; s != nil; s = s.parent {
+		if s.set[expr] {
+			return true
+		}
+	}
+	return false
+}
+
+type walker struct {
+	pass *lintkit.Pass
+}
+
+// block walks a statement list, threading guards established by
+// early-return nil checks into the statements that follow them.
+func (w *walker) block(stmts []ast.Stmt, g *guards) {
+	for _, s := range stmts {
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Init == nil {
+			if nils := nilEqualTargets(ifs.Cond); len(nils) > 0 && terminates(ifs.Body) {
+				// `if hook == nil { return }`: the rest of this block
+				// runs only with hook non-nil.
+				if ifs.Else == nil {
+					w.stmt(s, g)
+					for _, e := range nils {
+						g.set[e] = true
+					}
+					continue
+				}
+			}
+		}
+		w.stmt(s, g)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, g *guards) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.IfStmt:
+		w.stmt(s.Init, g)
+		w.expr(s.Cond, g)
+		then := newGuards(g)
+		for _, e := range nonNilConjuncts(s.Cond) {
+			then.set[e] = true
+		}
+		w.block(s.Body.List, then)
+		if s.Else != nil {
+			els := newGuards(g)
+			for _, e := range nilEqualTargets(s.Cond) {
+				els.set[e] = true
+			}
+			w.stmt(s.Else, els)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, newGuards(g))
+	case *ast.ForStmt:
+		w.stmt(s.Init, g)
+		inner := newGuards(g)
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+		}
+		w.stmt(s.Post, inner)
+		w.block(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, g)
+		w.block(s.Body.List, newGuards(g))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, g)
+		if s.Tag != nil {
+			w.expr(s.Tag, g)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, g)
+			}
+			w.block(cc.Body, newGuards(g))
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, g)
+		w.stmt(s.Assign, g)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.block(cc.Body, newGuards(g))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm, g)
+			w.block(cc.Body, newGuards(g))
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, g)
+	case *ast.ExprStmt:
+		w.expr(s.X, g)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, g)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, g)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, g)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, g)
+	case *ast.GoStmt:
+		w.expr(s.Call, g)
+	case *ast.SendStmt:
+		w.expr(s.Chan, g)
+		w.expr(s.Value, g)
+	case *ast.IncDecStmt:
+		w.expr(s.X, g)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.expr(v, g)
+			}
+		}
+	}
+}
+
+// expr checks an expression tree for hook-dereferencing calls.
+func (w *walker) expr(e ast.Expr, g *guards) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			// `hook != nil && hook.F.M()`: the left conjunct guards
+			// the right.
+			w.expr(e.X, g)
+			rhs := newGuards(g)
+			for _, t := range nonNilConjuncts(e.X) {
+				rhs.set[t] = true
+			}
+			w.expr(e.Y, rhs)
+			return
+		}
+		w.expr(e.X, g)
+		w.expr(e.Y, g)
+	case *ast.CallExpr:
+		w.checkCall(e, g)
+		w.expr(e.Fun, g)
+		for _, a := range e.Args {
+			w.expr(a, g)
+		}
+	case *ast.FuncLit:
+		// Closures inherit the lexical guard set: a hook captured
+		// inside an `if hook != nil` block stays non-nil (hooks are
+		// configured once, not swapped mid-run).
+		w.block(e.Body.List, newGuards(g))
+	case *ast.SelectorExpr:
+		w.expr(e.X, g)
+	case *ast.IndexExpr:
+		w.expr(e.X, g)
+		w.expr(e.Index, g)
+	case *ast.SliceExpr:
+		w.expr(e.X, g)
+		w.expr(e.Low, g)
+		w.expr(e.High, g)
+		w.expr(e.Max, g)
+	case *ast.ParenExpr:
+		w.expr(e.X, g)
+	case *ast.StarExpr:
+		w.expr(e.X, g)
+	case *ast.UnaryExpr:
+		w.expr(e.X, g)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, g)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value, g)
+				continue
+			}
+			w.expr(el, g)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, g)
+		w.expr(e.Value, g)
+	}
+}
+
+// checkCall flags `hook.Field...M()` calls whose hook expression is
+// not guarded. A call whose immediate receiver *is* the hook
+// (`hook.M()`) is a nil-safe hook method and exempt.
+func (w *walker) checkCall(call *ast.CallExpr, g *guards) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if w.hookType(sel.X) != "" {
+		return // nil-safe method on the hook itself
+	}
+	for e := ast.Expr(sel.X); e != nil; {
+		var next ast.Expr
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			next = x.X
+		case *ast.IndexExpr:
+			next = x.X
+		case *ast.ParenExpr:
+			next = x.X
+		case *ast.StarExpr:
+			next = x.X
+		default:
+			return
+		}
+		if name := w.hookType(next); name != "" {
+			expr := lintkit.ExprString(next)
+			if expr == "" || !g.has(expr) {
+				w.pass.Reportf(call.Pos(),
+					"call dereferences %s through nil-able hook %s without a dominating nil check (obs hooks are nil when instrumentation is off)",
+					name, exprOr(expr, "expression"))
+			}
+			return
+		}
+		e = next
+	}
+}
+
+func exprOr(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// hookType reports the obs hook type name if e's static type is
+// *obs.EngineMetrics or *obs.CorpusMetrics ("" otherwise).
+func (w *walker) hookType(e ast.Expr) string {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return ""
+	}
+	switch obj.Name() {
+	case "EngineMetrics", "CorpusMetrics":
+		return "*obs." + obj.Name()
+	}
+	return ""
+}
+
+// nonNilConjuncts returns the guard expressions established when cond
+// is true: every `x != nil` joined by &&.
+func nonNilConjuncts(cond ast.Expr) []string {
+	var out []string
+	splitOp(cond, token.LAND, func(e ast.Expr) {
+		if t := nilCompareTarget(e, token.NEQ); t != "" {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+// nilEqualTargets returns the expressions established non-nil when
+// cond is FALSE: every `x == nil` joined by ||.
+func nilEqualTargets(cond ast.Expr) []string {
+	var out []string
+	splitOp(cond, token.LOR, func(e ast.Expr) {
+		if t := nilCompareTarget(e, token.EQL); t != "" {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+func splitOp(e ast.Expr, op token.Token, fn func(ast.Expr)) {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == op {
+		splitOp(b.X, op, fn)
+		splitOp(b.Y, op, fn)
+		return
+	}
+	fn(e)
+}
+
+// nilCompareTarget matches `x <op> nil` / `nil <op> x` and returns
+// x's normalized text.
+func nilCompareTarget(e ast.Expr, op token.Token) string {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return ""
+	}
+	if isNilIdent(b.Y) {
+		return lintkit.ExprString(b.X)
+	}
+	if isNilIdent(b.X) {
+		return lintkit.ExprString(b.Y)
+	}
+	return ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the enclosing block (return, branch, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilhook_test
+
+import (
+	"testing"
+
+	"repro/tools/tracelint/internal/checks/nilhook"
+	"repro/tools/tracelint/internal/lintest"
+)
+
+func TestNilhook(t *testing.T) {
+	lintest.Run(t, "testdata", nilhook.Analyzer, "nilhook")
+}

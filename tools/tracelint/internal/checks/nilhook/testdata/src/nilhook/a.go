@@ -1,0 +1,97 @@
+// Fixture for the nilhook analyzer: method calls through obs hook
+// fields must be dominated by a nil check of the hook expression.
+package nilhook
+
+import "obs"
+
+type config struct {
+	Metrics *obs.EngineMetrics
+	Corpus  *obs.CorpusMetrics
+}
+
+func unguarded(c *config) {
+	c.Metrics.Epochs.Inc() // want `dereferences \*obs\.EngineMetrics through nil-able hook c\.Metrics without a dominating nil check`
+}
+
+func unguardedCorpus(c *config) {
+	c.Corpus.IngestBytes.Add(1) // want `dereferences \*obs\.CorpusMetrics through nil-able hook c\.Corpus`
+}
+
+func unguardedIndexed(c *config) {
+	c.Metrics.QueueDepth[0].Inc() // want `nil-able hook c\.Metrics`
+}
+
+func wrongGuard(c *config) {
+	if c.Corpus != nil {
+		c.Metrics.Epochs.Inc() // want `nil-able hook c\.Metrics`
+	}
+}
+
+func guardedIf(c *config) {
+	if c.Metrics != nil {
+		c.Metrics.Epochs.Inc()
+		c.Metrics.QueueDepth[1].Dec()
+	}
+}
+
+func guardedEarlyReturn(c *config) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.Requests.Inc()
+}
+
+func guardedEarlyReturnOr(c *config) {
+	if c.Metrics == nil || c.Corpus == nil {
+		return
+	}
+	c.Metrics.Requests.Inc()
+	c.Corpus.DedupHits.Inc()
+}
+
+func guardedElse(c *config) {
+	if c.Metrics == nil {
+		_ = c
+	} else {
+		c.Metrics.Epochs.Inc()
+	}
+}
+
+func guardedConjunction(c *config, busy bool) {
+	if c.Metrics != nil && busy {
+		c.Metrics.Epochs.Inc()
+	}
+}
+
+func guardedShortCircuit(c *config) bool {
+	return c.Metrics != nil && c.Metrics.Epochs.Value() > 0
+}
+
+func guardedClosure(c *config) func() {
+	if c.Metrics == nil {
+		return func() {}
+	}
+	// Closures inherit the lexical guard: hooks are wired once at
+	// startup, never swapped mid-run.
+	return func() {
+		c.Metrics.Epochs.Inc()
+	}
+}
+
+func nilSafeHookMethod(c *config) {
+	// A method ON the hook itself is nil-receiver-safe by the obs
+	// package convention; no guard needed.
+	c.Metrics.StageAdd(0, 1)
+}
+
+func localHook(m *obs.EngineMetrics) {
+	m.Epochs.Inc() // want `nil-able hook m`
+	if m != nil {
+		m.Epochs.Inc()
+	}
+}
+
+func suppressed(c *config) {
+	//tracelint:ignore nilhook fixture exercising the suppression path
+	c.Metrics.Epochs.Inc()
+}

@@ -1,0 +1,34 @@
+// Package obs is a fixture stub of the repo's internal/obs hook
+// types: just enough structure for nilhook to resolve
+// *obs.EngineMetrics / *obs.CorpusMetrics fields and methods.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc()         {}
+func (c *Counter) Add(d int64)  {}
+func (c *Counter) Value() int64 { return c.n }
+
+type Gauge struct{ n int64 }
+
+func (g *Gauge) Inc() {}
+func (g *Gauge) Dec() {}
+
+type EngineMetrics struct {
+	Epochs     *Counter
+	Requests   *Counter
+	QueueDepth [3]*Gauge
+}
+
+// StageAdd is nil-receiver-safe, like every method on the real type.
+func (m *EngineMetrics) StageAdd(stage int, d int64) {
+	if m == nil {
+		return
+	}
+	m.Epochs.Add(d)
+}
+
+type CorpusMetrics struct {
+	IngestBytes *Counter
+	DedupHits   *Counter
+}

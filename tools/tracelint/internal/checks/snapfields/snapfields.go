@@ -1,0 +1,210 @@
+// Package snapfields enforces the device.Stateful snapshot contract
+// from the PR 5 epoch-pipeline handoff: a Snapshot/Restore pair must
+// copy the COMPLETE device state, so that restoring a snapshot into a
+// fresh device reproduces servicing byte-for-byte. The failure mode
+// it exists for: a new field is added to a device, Snapshot/Restore
+// are not updated, every test with a quiescent-by-luck fixture still
+// passes, and the parallel path silently diverges from serial three
+// PRs later.
+//
+// Mechanically: for every type in the package that has both a
+// Snapshot and a Restore method, the analyzer locates the concrete
+// state struct Snapshot returns (declared in the same package; types
+// returning nil or a foreign state are skipped) and requires both
+// method bodies to reference every field of that struct — by
+// composite-literal key or by selector.
+package snapfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/tracelint/internal/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "snapfields",
+	Doc: "Snapshot/Restore pairs must reference every field of their state struct\n\n" +
+		"An un-copied state field survives into the next epoch on the serial device " +
+		"but not on the worker that restores the snapshot — a byte divergence no " +
+		"sampled test reliably catches.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	// Collect Snapshot/Restore method declarations by receiver type.
+	type pair struct {
+		snapshot, restore *ast.FuncDecl
+	}
+	pairs := make(map[types.Object]*pair)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name != "Snapshot" && fn.Name.Name != "Restore" {
+				continue
+			}
+			recv := receiverObject(pass, fn)
+			if recv == nil {
+				continue
+			}
+			p := pairs[recv]
+			if p == nil {
+				p = &pair{}
+				pairs[recv] = p
+			}
+			if fn.Name.Name == "Snapshot" {
+				p.snapshot = fn
+			} else {
+				p.restore = fn
+			}
+		}
+	}
+
+	for recv, p := range pairs {
+		if p.snapshot == nil || p.restore == nil {
+			continue // not a Stateful pair (e.g. Instrumented.Snapshot stats)
+		}
+		state := stateStruct(pass, p.snapshot)
+		if state == nil {
+			continue // trivial snapshot (returns nil) or foreign state type
+		}
+		st := state.Underlying().(*types.Struct)
+		for _, fn := range []*ast.FuncDecl{p.snapshot, p.restore} {
+			seen := referencedFields(pass, fn, state, st)
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if !seen[fld] {
+					pass.Reportf(fn.Name.Pos(),
+						"%s of %s does not reference field %q of state struct %s — Snapshot/Restore must copy every field",
+						fn.Name.Name, recv.Name(), fld.Name(), state.Obj().Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverObject resolves a method's receiver type object.
+func receiverObject(pass *lintkit.Pass, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// stateStruct determines the concrete state struct a Snapshot method
+// produces: the static type behind its return expressions, accepted
+// only when it is a named struct declared in the package under
+// analysis (a foreign state belongs to the package that declared it,
+// which is where its own Snapshot is checked).
+func stateStruct(pass *lintkit.Pass, fn *ast.FuncDecl) *types.Named {
+	var found *types.Named
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[ret.Results[0]]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return true
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return true
+		}
+		if named.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		if found == nil {
+			found = named
+		}
+		return true
+	})
+	return found
+}
+
+// referencedFields walks a method body and records which fields of
+// the state struct it touches: selector accesses resolving to a field
+// of st, keyed composite-literal entries of the state type, and
+// positional composite literals (which reference all fields).
+func referencedFields(pass *lintkit.Pass, fn *ast.FuncDecl, state *types.Named, st *types.Struct) map[*types.Var]bool {
+	byName := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		byName[st.Field(i).Name()] = st.Field(i)
+	}
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if owner, ok := byName[v.Name()]; ok && owner == v {
+						seen[v] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); !ok || named != state {
+				return true
+			}
+			if len(n.Elts) > 0 {
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+					// Positional literal: the compiler already forces
+					// every field to be present.
+					for _, v := range byName {
+						seen[v] = true
+					}
+					return true
+				}
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if v, ok := byName[id.Name]; ok {
+						seen[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return seen
+}

@@ -1,0 +1,12 @@
+package snapfields_test
+
+import (
+	"testing"
+
+	"repro/tools/tracelint/internal/checks/snapfields"
+	"repro/tools/tracelint/internal/lintest"
+)
+
+func TestSnapfields(t *testing.T) {
+	lintest.Run(t, "testdata", snapfields.Analyzer, "snapfields", "foreign")
+}

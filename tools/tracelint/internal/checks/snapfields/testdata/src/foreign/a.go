@@ -1,0 +1,18 @@
+// Fixture: a device whose Snapshot returns a foreign package's state
+// type (like FTLDevice adopting ftl.State) is skipped — the state
+// package owns that struct's completeness.
+package foreign
+
+import "snapstate"
+
+type Device struct {
+	st *snapstate.State
+}
+
+func (d *Device) Snapshot() any {
+	return d.st.Clone()
+}
+
+func (d *Device) Restore(s any) {
+	d.st = s.(*snapstate.State)
+}

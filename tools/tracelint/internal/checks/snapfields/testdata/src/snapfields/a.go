@@ -1,0 +1,77 @@
+// Fixture for the snapfields analyzer: Snapshot/Restore pairs must
+// reference every field of the state struct Snapshot returns.
+package snapfields
+
+type leakyState struct {
+	busyUntil int64
+	headCyl   int
+	hasPos    bool
+}
+
+type Leaky struct {
+	busyUntil int64
+	headCyl   int
+	hasPos    bool
+}
+
+// Snapshot forgets hasPos — exactly the new-field-added drift the
+// analyzer exists for.
+func (d *Leaky) Snapshot() any { // want `Snapshot of Leaky does not reference field "hasPos" of state struct leakyState`
+	return &leakyState{busyUntil: d.busyUntil, headCyl: d.headCyl}
+}
+
+func (d *Leaky) Restore(s any) { // want `Restore of Leaky does not reference field "hasPos"` `Restore of Leaky does not reference field "headCyl"`
+	st := s.(*leakyState)
+	d.busyUntil = st.busyUntil
+	_ = st
+}
+
+type goodState struct {
+	pos  int64
+	last int
+}
+
+type Good struct {
+	pos  int64
+	last int
+}
+
+func (d *Good) Snapshot() any {
+	return &goodState{pos: d.pos, last: d.last}
+}
+
+func (d *Good) Restore(s any) {
+	st := s.(*goodState)
+	d.pos = st.pos
+	d.last = st.last
+}
+
+// Positional literals force every field at compile time already.
+type posState struct {
+	a, b int
+}
+
+type Positional struct{ a, b int }
+
+func (d *Positional) Snapshot() any {
+	return posState{d.a, d.b}
+}
+
+func (d *Positional) Restore(s any) {
+	st := s.(posState)
+	d.a, d.b = st.a, st.b
+}
+
+// Stateless devices return nil; the analyzer has nothing to check.
+type Stateless struct{}
+
+func (d *Stateless) Snapshot() any { return nil }
+func (d *Stateless) Restore(s any) {}
+
+// A Snapshot with no Restore is not a Stateful pair (the repo's
+// Instrumented device snapshots stats, not state) — skipped.
+type statsOnly struct{ n int }
+
+type PairlessSnapshot struct{ n int }
+
+func (d *PairlessSnapshot) Snapshot() any { return statsOnly{} }

@@ -1,0 +1,13 @@
+// Package snapstate is a fixture stub of a foreign state package
+// (the repo's internal/ftl.State): its completeness is this package's
+// responsibility, not the adopting device's.
+package snapstate
+
+type State struct {
+	Blocks int
+	Active int
+}
+
+func (s *State) Clone() *State {
+	return &State{Blocks: s.Blocks, Active: s.Active}
+}

@@ -1,0 +1,128 @@
+// Command tracelint is the repo's project-specific static-analysis
+// suite: five analyzers enforcing the load-bearing invariants the
+// test suite can only sample (nil-guarded observability hooks,
+// complete Snapshot/Restore field coverage, allocation-free annotated
+// hot paths, registered error-envelope codes, mutex-guarded field
+// access).
+//
+// It speaks the `go vet -vettool` unit-checking protocol, so the
+// canonical repo-wide run is, from the module root:
+//
+//	go build -o /tmp/tracelint ./tools/tracelint   (from tools/tracelint)
+//	go vet -vettool=/tmp/tracelint ./...
+//
+// and also runs standalone over package patterns:
+//
+//	tracelint ./...
+//
+// Suppressions: `//tracelint:ignore <analyzer> <reason>` on (or on
+// the line above) the offending line. The reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/tracelint/internal/checks/errcode"
+	"repro/tools/tracelint/internal/checks/guarded"
+	"repro/tools/tracelint/internal/checks/hotpath"
+	"repro/tools/tracelint/internal/checks/nilhook"
+	"repro/tools/tracelint/internal/checks/snapfields"
+	"repro/tools/tracelint/internal/lintkit"
+)
+
+// analyzers is the suite, in README inventory order.
+var analyzers = []*lintkit.Analyzer{
+	nilhook.Analyzer,
+	snapfields.Analyzer,
+	hotpath.Analyzer,
+	errcode.Analyzer,
+	guarded.Analyzer,
+}
+
+func main() {
+	// The go command probes a vettool twice before using it:
+	// `-V=full` for a version/build identity line (cache keying) and
+	// `-flags` for the JSON list of tool flags it may pass through.
+	versionFlag := flag.String("V", "", "print version and exit (go command protocol)")
+	flagsFlag := flag.Bool("flags", false, "print tool flags as JSON and exit (go command protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracelint [package pattern ...] | tracelint <vet-config>.cfg\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := lintkit.RunVetConfig(args[0], analyzers)
+		exit(diags, "", err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	wd, _ := os.Getwd()
+	pkgs, err := lintkit.LoadPackages(wd, args)
+	if err != nil {
+		fatal(err)
+	}
+	var all []lintkit.Diagnostic
+	for _, p := range pkgs {
+		diags, err := lintkit.Run(p.Pass, analyzers)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", p.ImportPath, err))
+		}
+		all = append(all, diags...)
+	}
+	exit(all, wd, err)
+}
+
+func exit(diags []lintkit.Diagnostic, trimDir string, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, lintkit.TrimPos(d, trimDir))
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracelint:", err)
+	os.Exit(1)
+}
+
+// printVersion emits the `name version build-id` line the go command
+// hashes into its action cache, so a rebuilt tracelint binary (new
+// checks, new annotations semantics) invalidates cached vet verdicts.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			io.Copy(h, f)
+			f.Close()
+			id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
